@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper through the
+same runners the CLI uses.  The configurations below keep the default run in
+the minutes range on a laptop (pure Python); pass ``--benchmark-only`` to
+pytest to run them, and see EXPERIMENTS.md for recorded outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper_artifact(name): which table/figure a bench regenerates")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Default benchmark configuration: three datasets at reduced scale."""
+    return ExperimentConfig(
+        datasets=("email-EuAll", "cit-HepPh", "web-NotreDame"),
+        dataset_scale=0.2,
+        width_factors=(0.8, 1.0, 1.2),
+        fingerprint_bits=(12, 16),
+        sequence_length=8,
+        candidate_buckets=8,
+        query_sample=250,
+        reachability_pairs=40,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_bench_config() -> ExperimentConfig:
+    """Smaller configuration for the heavier compound-query benches."""
+    return ExperimentConfig(
+        datasets=("email-EuAll",),
+        dataset_scale=0.15,
+        width_factors=(1.0,),
+        fingerprint_bits=(12, 16),
+        sequence_length=8,
+        candidate_buckets=8,
+        query_sample=200,
+        reachability_pairs=30,
+    )
+
+
+def run_once(benchmark, runner, config):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(runner, args=(config,), rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,74 @@
+"""Ablation benchmarks for the GSS design choices called out in DESIGN.md.
+
+These go beyond the paper's own ablations (Figure 13 and the Table I
+"no sampling" row): fingerprint length, address-sequence length ``r``,
+candidate-bucket count ``k`` and rooms per bucket ``l`` are swept one at a
+time with everything else held fixed.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation import (
+    run_candidate_ablation,
+    run_fingerprint_ablation,
+    run_rooms_ablation,
+    run_sequence_length_ablation,
+)
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def ablation_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        datasets=("email-EuAll",),
+        dataset_scale=0.2,
+        fingerprint_bits=(16,),
+        sequence_length=8,
+        candidate_buckets=8,
+        query_sample=250,
+    )
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_fingerprint_length_ablation(benchmark, ablation_config):
+    result = run_once(benchmark, run_fingerprint_ablation, ablation_config)
+    print()
+    print(result.to_text())
+    rows = sorted(result.rows, key=lambda row: row["fingerprint_bits"])
+    # Longer fingerprints (larger M) never reduce successor precision.
+    assert rows[-1]["successor_precision"] >= rows[0]["successor_precision"] - 1e-9
+    # Edge ARE shrinks (or stays equal) as fingerprints grow.
+    assert rows[-1]["edge_are"] <= rows[0]["edge_are"] + 1e-9
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_sequence_length_ablation(benchmark, ablation_config):
+    result = run_once(benchmark, run_sequence_length_ablation, ablation_config)
+    print()
+    print(result.to_text())
+    rows = sorted(result.rows, key=lambda row: row["sequence_length"])
+    # Square hashing with longer sequences strictly helps buffer occupancy.
+    assert rows[-1]["buffer_pct"] <= rows[0]["buffer_pct"] + 1e-9
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_candidate_bucket_ablation(benchmark, ablation_config):
+    result = run_once(benchmark, run_candidate_ablation, ablation_config)
+    print()
+    print(result.to_text())
+    rows = sorted(result.rows, key=lambda row: row["candidate_buckets"])
+    assert rows[-1]["buffer_pct"] <= rows[0]["buffer_pct"] + 1e-9
+    # Accuracy of edge queries is unaffected by k (placement only).
+    assert abs(rows[-1]["edge_are"] - rows[0]["edge_are"]) < 0.05
+
+
+@pytest.mark.paper_artifact("ablation")
+def test_rooms_ablation(benchmark, ablation_config):
+    result = run_once(benchmark, run_rooms_ablation, ablation_config)
+    print()
+    print(result.to_text())
+    assert {row["rooms"] for row in result.rows} == {1, 2, 3, 4}
+    # At constant memory every variant keeps the buffer small near the
+    # recommended sizing.
+    assert all(row["buffer_pct"] < 0.35 for row in result.rows)

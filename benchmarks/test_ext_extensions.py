@@ -1,0 +1,76 @@
+"""Benchmarks: extension studies (window, partition, changers, algorithms, memory).
+
+These are not paper artifacts; they regenerate the extension tables recorded
+in EXPERIMENTS.md and assert the qualitative shape (GSS-based deployments stay
+accurate, sharding stays balanced within the skew of the workload, the
+injected burst is detected).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    run_algorithm_agreement_experiment,
+    run_heavy_changer_experiment,
+    run_memory_experiment,
+    run_partition_experiment,
+    run_window_experiment,
+)
+
+
+@pytest.mark.paper_artifact("extension:window")
+def test_ext_window(benchmark, small_bench_config):
+    result = run_once(benchmark, run_window_experiment, small_bench_config)
+    print()
+    print(result.to_text())
+    assert result.rows
+    for row in result.rows:
+        assert 0.0 <= row["successor_precision"] <= 1.0
+        assert row["edge_are"] >= 0.0
+
+
+@pytest.mark.paper_artifact("extension:partition")
+def test_ext_partition(benchmark, small_bench_config):
+    result = run_once(benchmark, run_partition_experiment, small_bench_config)
+    print()
+    print(result.to_text())
+    assert result.rows
+    # Sharding must not destroy accuracy: precision stays high at every count.
+    for row in result.rows:
+        assert row["successor_precision"] >= 0.5
+        assert row["load_imbalance"] >= 1.0
+
+
+@pytest.mark.paper_artifact("extension:changers")
+def test_ext_heavy_changers(benchmark, small_bench_config):
+    result = run_once(benchmark, run_heavy_changer_experiment, small_bench_config)
+    print()
+    print(result.to_text())
+    gss_rows = [row for row in result.rows if row["structure"].startswith("GSS")]
+    assert gss_rows
+    for row in gss_rows:
+        assert row["burst_recall"] >= 0.5
+
+
+@pytest.mark.paper_artifact("extension:algorithms")
+def test_ext_algorithm_agreement(benchmark, small_bench_config):
+    result = run_once(benchmark, run_algorithm_agreement_experiment, small_bench_config)
+    print()
+    print(result.to_text())
+    gss = [row for row in result.rows if row["structure"].startswith("GSS")]
+    tcm = [row for row in result.rows if row["structure"].startswith("TCM")]
+    assert gss and tcm
+    gss_score = sum(row["pagerank_overlap"] + row["degree_overlap"] for row in gss)
+    tcm_score = sum(row["pagerank_overlap"] + row["degree_overlap"] for row in tcm)
+    assert gss_score >= tcm_score
+
+
+@pytest.mark.paper_artifact("extension:memory")
+def test_ext_memory(benchmark, small_bench_config):
+    result = run_once(benchmark, run_memory_experiment, small_bench_config)
+    print()
+    print(result.to_text())
+    analytical = result.filter(scope="paper size (analytical)")
+    assert analytical
+    for row in analytical:
+        assert row["adjacency_matrix_bytes"] > row["gss_bytes"]

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 3 (theoretical accuracy vs M/|V|)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_figure3
+
+
+@pytest.mark.paper_artifact("fig3")
+def test_fig3_theoretical_accuracy(benchmark, bench_config):
+    result = run_once(benchmark, run_figure3, bench_config)
+    print()
+    print(result.to_text())
+
+    # Paper claim: with M/|V| <= 1 the successor/precursor accuracy is near 0,
+    # and it only becomes usable when M/|V| reaches the hundreds.
+    low_ratio = [
+        row["correct_rate"]
+        for row in result.filter(panel="successor_query", ratio=1)
+        if row["degree"] >= 8
+    ]
+    high_ratio = [
+        row["correct_rate"]
+        for row in result.filter(panel="successor_query", ratio=512)
+        if row["degree"] <= 8
+    ]
+    assert all(rate < 0.1 for rate in low_ratio)
+    assert all(rate > 0.8 for rate in high_ratio)
+
+    # Edge queries are far more forgiving: accurate even at tiny ratios.
+    edge_low = [
+        row["correct_rate"]
+        for row in result.filter(panel="edge_query", ratio=1)
+        if row["degree"] <= 8
+    ]
+    assert all(rate > 0.95 for rate in edge_low)

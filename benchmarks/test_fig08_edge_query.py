@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 8 (edge-query ARE vs matrix width)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_edge_query_experiment
+
+
+@pytest.mark.paper_artifact("fig8")
+def test_fig8_edge_query_are(benchmark, bench_config):
+    result = run_once(benchmark, run_edge_query_experiment, bench_config)
+    print()
+    print(result.to_text())
+
+    gss_rows = [row for row in result.rows if row["structure"].startswith("GSS")]
+    tcm_rows = [row for row in result.rows if row["structure"].startswith("TCM")]
+    assert gss_rows and tcm_rows
+
+    # Paper shape: GSS ARE is (much) lower than TCM's even though TCM gets 8x
+    # memory, on every dataset and width.
+    for gss_row in gss_rows:
+        matching_tcm = [
+            row
+            for row in tcm_rows
+            if row["dataset"] == gss_row["dataset"] and row["width"] == gss_row["width"]
+        ]
+        assert matching_tcm
+        assert gss_row["are"] <= matching_tcm[0]["are"] + 1e-9
+
+    # GSS with 16-bit fingerprints is at least as accurate as with 12-bit.
+    for dataset in {row["dataset"] for row in gss_rows}:
+        are_12 = [r["are"] for r in gss_rows if r["dataset"] == dataset and "12" in r["structure"]]
+        are_16 = [r["are"] for r in gss_rows if r["dataset"] == dataset and "16" in r["structure"]]
+        assert sum(are_16) <= sum(are_12) + 1e-9

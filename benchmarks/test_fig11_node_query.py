@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 11 (node-query ARE vs matrix width)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_node_query_experiment
+
+
+@pytest.mark.paper_artifact("fig11")
+def test_fig11_node_query_are(benchmark, bench_config):
+    result = run_once(benchmark, run_node_query_experiment, bench_config)
+    print()
+    print(result.to_text())
+
+    gss_rows = [row for row in result.rows if row["structure"].startswith("GSS")]
+    tcm_rows = [row for row in result.rows if row["structure"].startswith("TCM")]
+    assert gss_rows and tcm_rows
+
+    # Paper shape: despite the unfair memory ratio, GSS node-query ARE stays
+    # below TCM's for every dataset/width pair.
+    for gss_row in gss_rows:
+        matching_tcm = [
+            row
+            for row in tcm_rows
+            if row["dataset"] == gss_row["dataset"] and row["width"] == gss_row["width"]
+        ]
+        assert matching_tcm
+        assert gss_row["are"] <= matching_tcm[0]["are"] + 1e-9
+
+    # GSS node queries are close to exact (ARE well below 1).
+    assert max(row["are"] for row in gss_rows) < 0.5

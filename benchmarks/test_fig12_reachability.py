@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 12 (reachability true-negative recall)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_reachability_experiment
+
+
+@pytest.mark.paper_artifact("fig12")
+def test_fig12_reachability_recall(benchmark, bench_config):
+    result = run_once(benchmark, run_reachability_experiment, bench_config)
+    print()
+    print(result.to_text())
+
+    gss_rows = [row for row in result.rows if row["structure"].startswith("GSS")]
+    tcm_rows = [row for row in result.rows if row["structure"].startswith("TCM")]
+    assert gss_rows and tcm_rows
+
+    # Paper shape: GSS true-negative recall is near 1; TCM's is far lower
+    # ("can barely support this query") even with much more memory.
+    assert min(row["true_negative_recall"] for row in gss_rows) > 0.9
+    for gss_row in gss_rows:
+        matching_tcm = [
+            row
+            for row in tcm_rows
+            if row["dataset"] == gss_row["dataset"] and row["width"] == gss_row["width"]
+        ]
+        assert matching_tcm
+        assert (
+            gss_row["true_negative_recall"]
+            >= matching_tcm[0]["true_negative_recall"] - 1e-9
+        )

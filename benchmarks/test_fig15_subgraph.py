@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 15 (subgraph matching, GSS vs exact matcher)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_subgraph_experiment
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def subgraph_config() -> ExperimentConfig:
+    """Figure 15 uses web-NotreDame windows of growing size and patterns of
+    6-15 edges; the analog uses proportional window sizes."""
+    return ExperimentConfig(
+        datasets=("web-NotreDame",),
+        dataset_scale=0.4,
+        fingerprint_bits=(12, 16),
+        sequence_length=8,
+        candidate_buckets=8,
+        extras={
+            "subgraph_window_sizes": (1000, 2000, 3000, 4000, 5000),
+            "subgraph_pattern_sizes": (6, 9, 12, 15),
+            "subgraph_patterns_per_size": 5,
+        },
+    )
+
+
+@pytest.mark.paper_artifact("fig15")
+def test_fig15_subgraph_matching(benchmark, subgraph_config):
+    result = run_once(benchmark, run_subgraph_experiment, subgraph_config)
+    print()
+    print(result.to_text())
+
+    exact_rows = [row for row in result.rows if "exact" in row["structure"]]
+    gss_rows = [row for row in result.rows if row["structure"] == "GSS"]
+    assert exact_rows and gss_rows
+
+    # The exact matcher is the reference: correct rate 1 by construction.
+    assert all(row["correct_rate"] == 1.0 for row in exact_rows)
+    # Paper shape: GSS achieves nearly 100% correct matches at 1/10 memory.
+    assert min(row["correct_rate"] for row in gss_rows) >= 0.9
+    assert sum(row["correct_rate"] for row in gss_rows) / len(gss_rows) >= 0.95

@@ -1,0 +1,73 @@
+"""Quickstart: build a GSS over a graph stream and run the query primitives.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a synthetic analog of the paper's email-EuAll dataset,
+summarizes it with GSS, and compares the three graph query primitives (edge
+query, 1-hop successor query, 1-hop precursor query) plus a compound node
+query against the exact ground truth.
+"""
+
+from __future__ import annotations
+
+from repro import GSS, GSSConfig, AdjacencyListGraph
+from repro.datasets import load_dataset
+from repro.metrics import average_precision, average_relative_error
+from repro.queries.primitives import EDGE_NOT_FOUND, consume_stream
+
+
+def main() -> None:
+    # 1. A graph stream: a sequence of (source, destination; timestamp; weight) items.
+    stream = load_dataset("email-EuAll", scale=0.2)
+    statistics = stream.statistics()
+    print(f"stream '{stream.name}': {statistics.item_count} items, "
+          f"{statistics.distinct_edges} distinct edges, {statistics.node_count} nodes")
+
+    # 2. Size the sketch for the expected number of distinct edges (m ~ sqrt(|E|)).
+    config = GSSConfig.for_edge_count(
+        statistics.distinct_edges, fingerprint_bits=16, sequence_length=8, candidate_buckets=8
+    )
+    sketch = GSS(config)
+    sketch.ingest(stream)
+    print(f"GSS: {config.matrix_width}x{config.matrix_width} matrix, "
+          f"{config.rooms} rooms/bucket, {sketch.buffer_edge_count} buffered edges, "
+          f"{sketch.memory_bytes() / 1024:.1f} KiB")
+
+    # 3. Exact ground truth for comparison.
+    exact = consume_stream(AdjacencyListGraph(), stream)
+
+    # 4. Edge queries: the estimate is never below the true weight.
+    truth = stream.aggregate_weights()
+    sample = list(truth)[:2000]
+    pairs = [(sketch.edge_query(*key), truth[key]) for key in sample]
+    print(f"edge query ARE over {len(sample)} edges: {average_relative_error(pairs):.6f}")
+
+    some_edge = sample[0]
+    print(f"  example: edge {some_edge} -> GSS {sketch.edge_query(*some_edge)}, "
+          f"exact {exact.edge_query(*some_edge)}")
+    print(f"  absent edge ('ghost', 'node') -> {sketch.edge_query('ghost', 'node')} "
+          f"(-1 means not found, EDGE_NOT_FOUND={EDGE_NOT_FOUND})")
+
+    # 5. 1-hop successor / precursor queries.
+    successor_truth = stream.successors()
+    nodes = stream.nodes()[:500]
+    precision = average_precision(
+        [(successor_truth.get(node, set()), sketch.successor_query(node)) for node in nodes]
+    )
+    print(f"successor query precision over {len(nodes)} nodes: {precision:.4f}")
+
+    busiest = max(successor_truth, key=lambda node: len(successor_truth[node]))
+    print(f"  busiest node {busiest!r}: {len(successor_truth[busiest])} true successors, "
+          f"GSS reports {len(sketch.successor_query(busiest))}")
+    print(f"  precursors of {busiest!r}: exact {len(exact.precursor_query(busiest))}, "
+          f"GSS {len(sketch.precursor_query(busiest))}")
+
+    # 6. Compound query built on the primitives: aggregated out-weight of a node.
+    print(f"node query (out-weight) of {busiest!r}: GSS {sketch.node_out_weight(busiest):.0f}, "
+          f"exact {exact.node_out_weight(busiest):.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Fast and Accurate Graph Stream Summarization" (ICDE 2019).
+
+The package implements the Graph Stream Sketch (GSS) together with every
+substrate and baseline the paper's evaluation relies on: the graph-stream
+model, synthetic dataset analogs, exact stores, TCM / gMatrix / CM / CU /
+gSketch / TRIEST baselines, an exact subgraph matcher, the query layer built
+on the three graph query primitives, the analytical models of Section VI and
+an experiment harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import GSS, GSSConfig
+    from repro.datasets import load_dataset
+
+    stream = load_dataset("email-EuAll")
+    sketch = GSS(GSSConfig.for_edge_count(stream.statistics().distinct_edges))
+    sketch.ingest(stream)
+    print(sketch.edge_query("n1", "n2"))
+    print(sketch.successor_query("n1"))
+"""
+
+from repro.core import GSS, GSSBasic, GSSConfig
+from repro.baselines import TCM, GMatrix, CountMinSketch, CountMinCUSketch, GSketch
+from repro.exact import AdjacencyListGraph, AdjacencyMatrixGraph
+from repro.streaming import GraphStream, StreamEdge
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GSS",
+    "GSSBasic",
+    "GSSConfig",
+    "TCM",
+    "GMatrix",
+    "CountMinSketch",
+    "CountMinCUSketch",
+    "GSketch",
+    "AdjacencyListGraph",
+    "AdjacencyMatrixGraph",
+    "GraphStream",
+    "StreamEdge",
+    "__version__",
+]

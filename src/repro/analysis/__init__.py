@@ -1,0 +1,65 @@
+"""Analytical models from Section VI of the paper.
+
+* :mod:`repro.analysis.collision` — the edge-collision probability of the
+  hash mapping (Equations 8–12) and the correct-rate formulas for the three
+  query primitives, for both GSS (``M = m * F``) and TCM (``M = m``).
+* :mod:`repro.analysis.buffer_model` — the probability that an insertion
+  fails and the edge becomes a left-over (Equations 13–18).
+* :mod:`repro.analysis.figure3` — the theoretical accuracy-vs-``M/|V|``
+  sweeps plotted in Figure 3.
+"""
+
+from repro.analysis.collision import (
+    edge_collision_probability,
+    edge_query_correct_rate,
+    node_collision_free_probability,
+    precursor_query_correct_rate,
+    successor_query_correct_rate,
+)
+from repro.analysis.buffer_model import bucket_availability_probability, insertion_failure_probability
+from repro.analysis.figure3 import figure3_series
+from repro.analysis.memory import (
+    MemoryComparison,
+    adjacency_list_memory_bytes,
+    adjacency_matrix_memory_bytes,
+    compare_structures,
+    gss_memory_bytes,
+    gss_width_for_memory,
+    memory_sweep,
+    tcm_memory_bytes,
+    tcm_width_for_memory,
+)
+from repro.analysis.error_models import (
+    expected_edge_query_relative_error,
+    expected_false_successors,
+    expected_node_query_relative_error,
+    expected_successor_precision,
+    expected_true_negative_recall,
+    reachability_false_positive_bound,
+)
+
+__all__ = [
+    "edge_collision_probability",
+    "edge_query_correct_rate",
+    "node_collision_free_probability",
+    "successor_query_correct_rate",
+    "precursor_query_correct_rate",
+    "bucket_availability_probability",
+    "insertion_failure_probability",
+    "figure3_series",
+    "MemoryComparison",
+    "gss_memory_bytes",
+    "tcm_memory_bytes",
+    "adjacency_list_memory_bytes",
+    "adjacency_matrix_memory_bytes",
+    "gss_width_for_memory",
+    "tcm_width_for_memory",
+    "compare_structures",
+    "memory_sweep",
+    "expected_false_successors",
+    "expected_successor_precision",
+    "expected_node_query_relative_error",
+    "expected_edge_query_relative_error",
+    "expected_true_negative_recall",
+    "reachability_false_positive_bound",
+]

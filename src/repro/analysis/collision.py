@@ -1,0 +1,101 @@
+"""Collision-rate analysis of the graph-sketch mapping (Section VI-B/C).
+
+The only source of error in GSS is the map from the streaming graph ``G`` to
+the graph sketch ``Gh`` (Theorem 1: the storage of ``Gh`` itself is exact).
+For a queried edge ``e`` with ``D`` adjacent edges among the ``|E|`` edges of
+``G`` and a node hash of range ``M``, the probability that no other edge
+collides with ``e`` is
+
+    P = exp(-(|E| - D) / M^2) * exp(-D / M)
+      = exp(-(|E| + (M - 1) * D) / M^2)                       (Equation 12)
+
+which is the correct rate of the edge query.  The 1-hop successor (precursor)
+query for a node of out-degree (in-degree) ``d`` is correct when none of the
+other ``|V| - d`` nodes collides with any relevant edge, giving ``P ** (|V| - d)``
+with the appropriate per-node collision probability.
+
+TCM obeys exactly the same formulas with ``M`` equal to the matrix width,
+which is how the paper quantifies the accuracy gap (Section VI-C example).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _validate(M: float, edges: float) -> None:
+    if M <= 0:
+        raise ValueError("hash range M must be positive")
+    if edges < 0:
+        raise ValueError("edge count must be non-negative")
+
+
+def edge_collision_probability(M: float, edges: float, adjacent_edges: float = 0.0) -> float:
+    """``P_hat`` — probability that at least one other edge collides with the query edge.
+
+    Parameters mirror Equation 12: ``M`` is the hash range, ``edges`` is
+    ``|E|`` and ``adjacent_edges`` is ``D`` (edges sharing an endpoint with the
+    queried edge).
+    """
+    return 1.0 - edge_query_correct_rate(M, edges, adjacent_edges)
+
+
+def edge_query_correct_rate(M: float, edges: float, adjacent_edges: float = 0.0) -> float:
+    """``P`` of Equation 12 — probability the edge query returns the exact weight."""
+    _validate(M, edges)
+    if adjacent_edges < 0 or adjacent_edges > edges:
+        raise ValueError("adjacent_edges must be between 0 and edges")
+    exponent = (edges - adjacent_edges) / (M * M) + adjacent_edges / M
+    return math.exp(-exponent)
+
+
+def node_collision_free_probability(M: float, nodes: float) -> float:
+    """Probability a node does not share its hash with any of the other nodes.
+
+    ``(1 - 1/M) ** (|V| - 1) ~= exp(-(|V| - 1) / M)`` — the quantity Section IV
+    uses to motivate a large ``M``.
+    """
+    _validate(M, nodes)
+    if nodes < 1:
+        return 1.0
+    return math.exp(-(nodes - 1) / M)
+
+
+def successor_query_correct_rate(
+    M: float, nodes: float, edges: float, out_degree: float = 1.0
+) -> float:
+    """Correct rate of a 1-hop successor query (Section VI-B).
+
+    The answer is correct iff for every node ``v'`` that is *not* a successor
+    (there are ``|V| - d_out`` of them) the edge ``(v, v')`` does not collide
+    with any existing edge.  Each such potential edge has ``D ~ d_out``
+    adjacent edges through the queried node, so its non-collision probability
+    is the edge-query correct rate with that ``D``.
+    """
+    _validate(M, nodes)
+    non_successors = max(0.0, nodes - out_degree)
+    per_edge = edge_query_correct_rate(M, edges, min(out_degree, edges))
+    return per_edge ** non_successors
+
+
+def precursor_query_correct_rate(
+    M: float, nodes: float, edges: float, in_degree: float = 1.0
+) -> float:
+    """Correct rate of a 1-hop precursor query (symmetric to the successor case)."""
+    return successor_query_correct_rate(M, nodes, edges, out_degree=in_degree)
+
+
+def gss_hash_range(matrix_width: int, fingerprint_bits: int) -> int:
+    """``M = m * F`` for a GSS configuration."""
+    if matrix_width <= 0:
+        raise ValueError("matrix_width must be positive")
+    if fingerprint_bits <= 0:
+        raise ValueError("fingerprint_bits must be positive")
+    return matrix_width * (1 << fingerprint_bits)
+
+
+def tcm_hash_range(matrix_width: int) -> int:
+    """``M = m`` for TCM — the whole reason its accuracy is limited."""
+    if matrix_width <= 0:
+        raise ValueError("matrix_width must be positive")
+    return matrix_width

@@ -1,0 +1,166 @@
+"""Error models for the compound queries built on the primitives.
+
+Section VI-B of the paper derives the correct rate of the three primitives.
+The compound queries the evaluation reports (node queries, reachability,
+triangle counting) inherit their error from the primitives; this module works
+out those propagated error models so the measured results in EXPERIMENTS.md
+can be checked against theory:
+
+* node query — the estimate is the true out-weight plus the weight of every
+  colliding edge; its expected relative error follows from the edge-collision
+  probability and the average edge weight;
+* reachability (true-negative recall) — an unreachable pair is falsely
+  reported reachable when hash collisions create a spurious path; we bound
+  that with the probability that any of the candidate frontier edges collides;
+* expected number of false successors per 1-hop query, used to sanity-check
+  the precision measurements of Figures 9/10.
+
+All formulas use the same ``M`` convention as :mod:`repro.analysis.collision`:
+``M = m * F`` for GSS, ``M = m`` for TCM.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.collision import edge_query_correct_rate
+
+
+def _validate_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive")
+
+
+def expected_false_successors(M: float, nodes: float, edges: float) -> float:
+    """Expected number of spurious nodes in a 1-hop successor answer.
+
+    Each of the ``|V|`` candidate non-successors appears in the answer when
+    the corresponding potential edge collides with an existing edge, which
+    happens with probability about ``|E| / M^2 + d/M``; summing the first term
+    over the ``|V|`` candidates gives ``|V| * |E| / M^2`` (the second term is
+    what the per-degree curves of Figure 3 add).
+    """
+    _validate_positive("M", M)
+    if nodes < 0 or edges < 0:
+        raise ValueError("nodes and edges must be non-negative")
+    return nodes * (1.0 - edge_query_correct_rate(M, edges))
+
+
+def expected_successor_precision(
+    M: float, nodes: float, edges: float, out_degree: float
+) -> float:
+    """Expected precision ``|SS| / |SS_hat|`` of a 1-hop successor query.
+
+    The true successors are always reported (no false negatives), so the
+    precision is ``d / (d + expected false successors)``; degree-0 nodes are
+    defined to have precision 1 when nothing spurious shows up.
+    """
+    if out_degree < 0:
+        raise ValueError("out_degree must be non-negative")
+    false_successors = expected_false_successors(M, nodes, edges)
+    denominator = out_degree + false_successors
+    if denominator == 0:
+        return 1.0
+    return out_degree / denominator if out_degree > 0 else (1.0 if false_successors == 0 else 0.0)
+
+
+def expected_node_query_relative_error(
+    M: float, edges: float, node_out_weight: float, average_edge_weight: float
+) -> float:
+    """Expected relative error of a node (aggregate out-weight) query.
+
+    The estimate adds the weight of every edge whose source node collides with
+    the queried node — about ``|E| / M`` edges in expectation, each carrying
+    the average edge weight.  The relative error is that spurious mass divided
+    by the true out-weight.
+    """
+    _validate_positive("M", M)
+    if edges < 0:
+        raise ValueError("edges must be non-negative")
+    if node_out_weight <= 0:
+        raise ValueError("node_out_weight must be positive")
+    if average_edge_weight < 0:
+        raise ValueError("average_edge_weight must be non-negative")
+    spurious_edges = edges / M
+    return spurious_edges * average_edge_weight / node_out_weight
+
+
+def expected_edge_query_relative_error(
+    M: float, edges: float, edge_weight: float, average_edge_weight: float, adjacent_edges: float = 0.0
+) -> float:
+    """Expected relative error of an edge query.
+
+    With probability ``1 - P`` (Equation 12) at least one other edge collides
+    and adds (at least) the average edge weight to the estimate.
+    """
+    if edge_weight <= 0:
+        raise ValueError("edge_weight must be positive")
+    collision_probability = 1.0 - edge_query_correct_rate(M, edges, adjacent_edges)
+    return collision_probability * average_edge_weight / edge_weight
+
+
+def reachability_false_positive_bound(
+    M: float, nodes: float, edges: float, frontier_size: float, path_length: float = 1.0
+) -> float:
+    """Upper bound on falsely reporting an unreachable pair as reachable.
+
+    A spurious path needs at least one spurious edge out of the (at most)
+    ``frontier_size * path_length`` candidate edges the BFS examines; a union
+    bound over their individual collision probabilities gives the result,
+    capped at 1.
+    """
+    _validate_positive("M", M)
+    if frontier_size < 0 or path_length < 0:
+        raise ValueError("frontier_size and path_length must be non-negative")
+    per_edge_collision = 1.0 - edge_query_correct_rate(M, edges)
+    bound = frontier_size * path_length * per_edge_collision
+    # The successor scan only creates a false edge to nodes that share a hash;
+    # the per-candidate probability is also bounded by nodes / M.
+    bound = min(bound, frontier_size * path_length * min(1.0, nodes / M))
+    return min(1.0, bound)
+
+
+def expected_true_negative_recall(
+    M: float, nodes: float, edges: float, frontier_size: float, path_length: float = 1.0
+) -> float:
+    """Expected true-negative recall of the reachability experiment (Figure 12)."""
+    return 1.0 - reachability_false_positive_bound(M, nodes, edges, frontier_size, path_length)
+
+
+def triangle_count_bias(M: float, nodes: float, edges: float, true_triangles: float) -> float:
+    """Expected relative over-count of triangles caused by spurious edges.
+
+    Every spurious edge closes, in expectation, ``2 * |E| / |V|`` new wedges
+    into triangles (each wedge needs the third edge to exist, probability
+    about ``|E| / |V|^2`` per node pair times ``|V|`` shared endpoints).  The
+    value is a coarse upper bound used only as a sanity band for Figure 14.
+    """
+    _validate_positive("M", M)
+    if true_triangles <= 0:
+        raise ValueError("true_triangles must be positive")
+    if nodes <= 0:
+        return 0.0
+    spurious_edges = edges * (1.0 - edge_query_correct_rate(M, edges))
+    wedges_closed_per_edge = 2.0 * edges / nodes
+    spurious_triangles = spurious_edges * wedges_closed_per_edge * min(1.0, edges / (nodes * nodes)) * nodes
+    return spurious_triangles / true_triangles
+
+
+def memory_accuracy_tradeoff(
+    edges: float, nodes: float, fingerprint_bits: int, widths: list
+) -> list:
+    """Edge-query correct rate as a function of matrix width for fixed ``F``.
+
+    Returns ``[(width, M, correct_rate), ...]`` — the planning curve an
+    operator uses to pick the smallest sketch meeting an accuracy target.
+    """
+    if fingerprint_bits <= 0:
+        raise ValueError("fingerprint_bits must be positive")
+    fingerprint_range = 1 << fingerprint_bits
+    rows = []
+    for width in widths:
+        if width <= 0:
+            raise ValueError("widths must be positive")
+        M = width * fingerprint_range
+        rows.append((width, M, edge_query_correct_rate(M, edges, min(edges, math.sqrt(edges)))))
+    return rows

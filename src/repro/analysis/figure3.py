@@ -1,0 +1,94 @@
+"""Theoretical accuracy curves of Figure 3.
+
+Figure 3 plots, purely from the analysis of Section VI-B, how the accuracy of
+the three query primitives depends on the ratio ``M / |V|`` between the hash
+range and the number of nodes, for a range of node degrees.  The figure is the
+paper's argument for why ``M`` must be much larger than ``|V|`` — the regime
+TCM cannot reach (``M = m <= sqrt(|E|)``) but GSS can (``M = m * F``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.collision import (
+    edge_query_correct_rate,
+    successor_query_correct_rate,
+)
+
+
+@dataclass(frozen=True)
+class Figure3Point:
+    """One point of a Figure 3 surface."""
+
+    ratio: float        # M / |V|
+    degree: float       # d1 + d2 for edge queries, d_out / d_in otherwise
+    correct_rate: float
+
+
+def figure3_series(
+    node_count: int = 100_000,
+    average_degree: float = 5.0,
+    ratios: Sequence[float] = (0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+    degrees: Sequence[float] = (1, 2, 4, 8, 16, 32, 64),
+) -> Dict[str, List[Figure3Point]]:
+    """Compute the three panels of Figure 3.
+
+    Returns a dict with keys ``edge_query``, ``successor_query`` and
+    ``precursor_query``, each a list of :class:`Figure3Point`.  The successor
+    and precursor panels are symmetric (the formula only depends on the
+    relevant degree), matching the paper.
+    """
+    if node_count <= 0:
+        raise ValueError("node_count must be positive")
+    edge_count = node_count * average_degree
+
+    edge_points: List[Figure3Point] = []
+    successor_points: List[Figure3Point] = []
+    for ratio in ratios:
+        hash_range = ratio * node_count
+        for degree in degrees:
+            edge_points.append(
+                Figure3Point(
+                    ratio=ratio,
+                    degree=degree,
+                    correct_rate=edge_query_correct_rate(hash_range, edge_count, degree),
+                )
+            )
+            successor_points.append(
+                Figure3Point(
+                    ratio=ratio,
+                    degree=degree,
+                    correct_rate=successor_query_correct_rate(
+                        hash_range, node_count, edge_count, degree
+                    ),
+                )
+            )
+    return {
+        "edge_query": edge_points,
+        "successor_query": successor_points,
+        "precursor_query": list(successor_points),
+    }
+
+
+def minimum_ratio_for_accuracy(
+    target: float = 0.8,
+    node_count: int = 100_000,
+    average_degree: float = 5.0,
+    degree: float = 8.0,
+    ratios: Sequence[float] = tuple(2 ** i for i in range(-2, 12)),
+) -> float:
+    """Smallest ``M / |V|`` in ``ratios`` whose successor accuracy reaches ``target``.
+
+    The paper reads off "only when M/|V| > 200 the accuracy ratio is larger
+    than 80%" from Figure 3; this helper reproduces that style of statement.
+    """
+    edge_count = node_count * average_degree
+    for ratio in sorted(ratios):
+        accuracy = successor_query_correct_rate(
+            ratio * node_count, node_count, edge_count, degree
+        )
+        if accuracy >= target:
+            return ratio
+    return float("inf")

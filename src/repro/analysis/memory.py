@@ -1,0 +1,148 @@
+"""Memory accounting and capacity planning across the compared structures.
+
+Section VI-A of the paper argues GSS keeps O(|E|) memory; the experiments then
+hold memory ratios fixed when comparing against TCM (8x / 256x) and against
+the exact adjacency list.  This module centralises the byte accounting used in
+those comparisons (under the paper's C layout, not Python object overhead) and
+adds the planning helpers an operator would need:
+
+* bytes of a GSS, a TCM stack, an adjacency list and an adjacency matrix for a
+  given graph size;
+* the matrix width a GSS can afford under a byte budget;
+* the memory crossover between an exact adjacency list and GSS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import GSSConfig
+
+#: Bytes of one counter cell in a TCM / gMatrix adjacency matrix.
+TCM_COUNTER_BYTES = 4
+
+#: Bytes of one adjacency-list cell: two node IDs, a weight and a next pointer.
+ADJACENCY_LIST_CELL_BYTES = 16
+
+#: Bytes of one hash-table entry of the reverse node index (ID pointer + hash).
+NODE_INDEX_ENTRY_BYTES = 16
+
+
+def gss_memory_bytes(config: GSSConfig, buffered_edges: int = 0, indexed_nodes: int = 0) -> int:
+    """Total GSS memory: matrix plus buffer plus (optional) reverse node index."""
+    if buffered_edges < 0 or indexed_nodes < 0:
+        raise ValueError("buffered_edges and indexed_nodes must be non-negative")
+    total = config.matrix_memory_bytes()
+    total += buffered_edges * ADJACENCY_LIST_CELL_BYTES
+    total += indexed_nodes * NODE_INDEX_ENTRY_BYTES
+    return total
+
+
+def tcm_memory_bytes(width: int, depth: int = 1) -> int:
+    """Memory of a TCM stack: ``depth`` adjacency matrices of ``width ** 2`` counters."""
+    if width <= 0 or depth <= 0:
+        raise ValueError("width and depth must be positive")
+    return width * width * depth * TCM_COUNTER_BYTES
+
+
+def adjacency_list_memory_bytes(edge_count: int, node_count: int) -> int:
+    """Memory of an exact adjacency list with a per-node index map."""
+    if edge_count < 0 or node_count < 0:
+        raise ValueError("edge_count and node_count must be non-negative")
+    return edge_count * ADJACENCY_LIST_CELL_BYTES + node_count * NODE_INDEX_ENTRY_BYTES
+
+
+def adjacency_matrix_memory_bytes(node_count: int) -> int:
+    """Memory of a dense ``|V| x |V|`` adjacency matrix of 4-byte counters."""
+    if node_count < 0:
+        raise ValueError("node_count must be non-negative")
+    return node_count * node_count * TCM_COUNTER_BYTES
+
+
+def tcm_width_for_memory(memory_bytes: int, depth: int = 1) -> int:
+    """The largest TCM matrix width whose stack fits in ``memory_bytes``."""
+    if memory_bytes <= 0 or depth <= 0:
+        raise ValueError("memory_bytes and depth must be positive")
+    return max(1, int(math.sqrt(memory_bytes / (depth * TCM_COUNTER_BYTES))))
+
+
+def gss_width_for_memory(
+    memory_bytes: int, fingerprint_bits: int = 16, rooms: int = 2
+) -> int:
+    """The largest GSS matrix width whose matrix fits in ``memory_bytes``."""
+    if memory_bytes <= 0:
+        raise ValueError("memory_bytes must be positive")
+    room_bits = 2 * fingerprint_bits + 8 + 32
+    room_bytes = room_bits / 8.0
+    return max(1, int(math.sqrt(memory_bytes / (rooms * room_bytes))))
+
+
+@dataclass(frozen=True)
+class MemoryComparison:
+    """Byte footprint of every structure for one graph size."""
+
+    edge_count: int
+    node_count: int
+    gss_bytes: int
+    tcm_equal_width_bytes: int
+    adjacency_list_bytes: int
+    adjacency_matrix_bytes: int
+
+    def as_row(self) -> Dict[str, float]:
+        """Row for experiment reports (ratios are relative to GSS)."""
+        return {
+            "edges": self.edge_count,
+            "nodes": self.node_count,
+            "gss_bytes": self.gss_bytes,
+            "tcm_bytes": self.tcm_equal_width_bytes,
+            "adjacency_list_bytes": self.adjacency_list_bytes,
+            "adjacency_matrix_bytes": self.adjacency_matrix_bytes,
+            "list_to_gss_ratio": (
+                self.adjacency_list_bytes / self.gss_bytes if self.gss_bytes else float("inf")
+            ),
+        }
+
+
+def compare_structures(
+    edge_count: int,
+    node_count: int,
+    fingerprint_bits: int = 16,
+    rooms: int = 2,
+) -> MemoryComparison:
+    """Memory footprint of GSS, TCM, adjacency list and adjacency matrix.
+
+    The GSS is sized with the paper's ``m ~ sqrt(|E| / rooms)`` rule and TCM is
+    given the same matrix width, which is the comparison the paper's Section
+    IV builds its argument on (same matrix, much larger hash range).
+    """
+    if edge_count <= 0 or node_count <= 0:
+        raise ValueError("edge_count and node_count must be positive")
+    config = GSSConfig.for_edge_count(
+        edge_count, fingerprint_bits=fingerprint_bits, rooms=rooms
+    )
+    return MemoryComparison(
+        edge_count=edge_count,
+        node_count=node_count,
+        gss_bytes=gss_memory_bytes(config, indexed_nodes=node_count),
+        tcm_equal_width_bytes=tcm_memory_bytes(config.matrix_width),
+        adjacency_list_bytes=adjacency_list_memory_bytes(edge_count, node_count),
+        adjacency_matrix_bytes=adjacency_matrix_memory_bytes(node_count),
+    )
+
+
+def memory_sweep(
+    edge_counts: List[int], average_degree: float = 5.0, fingerprint_bits: int = 16
+) -> List[MemoryComparison]:
+    """Memory comparison across graph sizes with a fixed average degree."""
+    if average_degree <= 0:
+        raise ValueError("average_degree must be positive")
+    return [
+        compare_structures(
+            edge_count,
+            max(1, int(edge_count / average_degree)),
+            fingerprint_bits=fingerprint_bits,
+        )
+        for edge_count in edge_counts
+    ]

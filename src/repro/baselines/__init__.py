@@ -1,0 +1,36 @@
+"""Baselines the paper compares against (all implemented from scratch).
+
+* :class:`~repro.baselines.tcm.TCM` — the state-of-the-art graph-stream
+  summary prior to GSS: one or more hashed adjacency matrices of counters.
+* :class:`~repro.baselines.gmatrix.GMatrix` — the TCM variant with reversible
+  hash functions.
+* :class:`~repro.baselines.cm_sketch.CountMinSketch` /
+  :class:`~repro.baselines.cu_sketch.CountMinCUSketch` — counter-array
+  sketches that support edge-weight queries only (no topology).
+* :class:`~repro.baselines.gsketch.GSketch` — CM sketches partitioned by
+  source node.
+* :class:`~repro.baselines.triest.TriestBase` /
+  :class:`~repro.baselines.triest.TriestImproved` — reservoir-based streaming
+  triangle counting (Figure 14 comparison).
+* :class:`~repro.baselines.exact_matcher.WindowedExactMatcher` — exact
+  windowed subgraph matching, standing in for SJ-tree (Figure 15 comparison).
+"""
+
+from repro.baselines.tcm import TCM
+from repro.baselines.gmatrix import GMatrix
+from repro.baselines.cm_sketch import CountMinSketch
+from repro.baselines.cu_sketch import CountMinCUSketch
+from repro.baselines.gsketch import GSketch
+from repro.baselines.triest import TriestBase, TriestImproved
+from repro.baselines.exact_matcher import WindowedExactMatcher
+
+__all__ = [
+    "TCM",
+    "GMatrix",
+    "CountMinSketch",
+    "CountMinCUSketch",
+    "GSketch",
+    "TriestBase",
+    "TriestImproved",
+    "WindowedExactMatcher",
+]

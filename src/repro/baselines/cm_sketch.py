@@ -1,0 +1,60 @@
+"""Count-Min sketch over edge keys (Cormode & Muthukrishnan).
+
+The first family of graph-stream summaries the paper discusses stores each
+stream item in counter arrays independently, ignoring topology.  They support
+edge-weight queries only: given ``(s, d)`` they estimate the aggregated weight
+but cannot enumerate successors, precursors or reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from repro.hashing.hash_functions import hash_key
+
+
+class CountMinSketch:
+    """Standard Count-Min sketch keyed by the edge's (source, destination) pair."""
+
+    def __init__(self, width: int, depth: int = 4, seed: int = 0) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.counters: List[List[float]] = [[0.0] * width for _ in range(depth)]
+        self._update_count = 0
+
+    def _positions(self, source: Hashable, destination: Hashable) -> List[Tuple[int, int]]:
+        key = (source, destination)
+        return [
+            (row, hash_key(key, self.seed + row) % self.width)
+            for row in range(self.depth)
+        ]
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Add ``weight`` to every row's counter for this edge."""
+        self._update_count += 1
+        for row, column in self._positions(source, destination):
+            self.counters[row][column] += weight
+
+    def ingest(self, edges) -> "CountMinSketch":
+        """Feed an iterable of stream edges."""
+        for edge in edges:
+            self.update(edge.source, edge.destination, edge.weight)
+        return self
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+        """Count-Min estimate: minimum counter across the rows."""
+        return min(self.counters[row][column] for row, column in self._positions(source, destination))
+
+    @property
+    def update_count(self) -> int:
+        """Number of stream items applied."""
+        return self._update_count
+
+    def memory_bytes(self) -> int:
+        """Counter memory under a C layout (32-bit counters)."""
+        return self.depth * self.width * 4

@@ -1,0 +1,36 @@
+"""Count-Min sketch with Conservative Update (the "CU sketch").
+
+Estan & Varghese's conservative-update rule only raises the counters that are
+currently equal to the minimum estimate, which reduces over-estimation for
+insert-only streams.  Like the plain CM sketch it answers edge-weight queries
+only and supports no topology queries — the limitation that motivates GSS.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.baselines.cm_sketch import CountMinSketch
+
+
+class CountMinCUSketch(CountMinSketch):
+    """CM sketch whose update applies the conservative-update rule.
+
+    Conservative update is only correct for non-negative weights; a negative
+    weight (deletion) falls back to the plain CM update so the estimate stays
+    an upper bound.
+    """
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Raise only the minimal counters (conservative update)."""
+        self._update_count += 1
+        positions = self._positions(source, destination)
+        if weight < 0:
+            for row, column in positions:
+                self.counters[row][column] += weight
+            return
+        current = min(self.counters[row][column] for row, column in positions)
+        target = current + weight
+        for row, column in positions:
+            if self.counters[row][column] < target:
+                self.counters[row][column] = target

@@ -1,0 +1,180 @@
+"""TCM (Tang, Chen, Mitra — SIGMOD 2016): hashed adjacency-matrix sketches.
+
+TCM compresses the streaming graph with a node hash of range ``M`` equal to
+the matrix width and stores the graph sketch in an ``M x M`` counter matrix;
+the counter in row ``H(s)``, column ``H(d)`` accumulates the weight of every
+edge mapped there.  Several sketches with independent hash functions can be
+kept, and queries report the most accurate (smallest, since errors are
+one-sided over-estimates) answer.
+
+The reverse node table used to answer successor/precursor queries over
+original node IDs is the same construction the paper allows TCM ("a hash table
+that stores the hash value and the original ID pairs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set
+
+from repro.core.reverse_index import NodeIndex
+from repro.hashing.hash_functions import NodeHasher
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+
+class _TCMSketch:
+    """One hashed adjacency matrix of counters."""
+
+    def __init__(self, width: int, seed: int) -> None:
+        self.width = width
+        self.hasher = NodeHasher(value_range=width, seed=seed)
+        self.counters: List[float] = [0.0] * (width * width)
+        self.node_index = NodeIndex()
+
+    def update(self, source: Hashable, destination: Hashable, weight: float) -> None:
+        source_hash = self.hasher(source)
+        destination_hash = self.hasher(destination)
+        self.node_index.record(source, source_hash)
+        self.node_index.record(destination, destination_hash)
+        self.counters[source_hash * self.width + destination_hash] += weight
+
+    def edge_weight(self, source: Hashable, destination: Hashable) -> float:
+        source_hash = self.hasher(source)
+        destination_hash = self.hasher(destination)
+        return self.counters[source_hash * self.width + destination_hash]
+
+    def successor_ids(self, node: Hashable) -> Set[Hashable]:
+        node_hash = self.hasher(node)
+        base = node_hash * self.width
+        hashes = [
+            column for column in range(self.width) if self.counters[base + column] > 0
+        ]
+        return self.node_index.expand(hashes)
+
+    def precursor_ids(self, node: Hashable) -> Set[Hashable]:
+        node_hash = self.hasher(node)
+        hashes = [
+            row
+            for row in range(self.width)
+            if self.counters[row * self.width + node_hash] > 0
+        ]
+        return self.node_index.expand(hashes)
+
+    def node_out_weight(self, node: Hashable) -> float:
+        node_hash = self.hasher(node)
+        base = node_hash * self.width
+        return sum(self.counters[base:base + self.width])
+
+    def node_in_weight(self, node: Hashable) -> float:
+        node_hash = self.hasher(node)
+        return sum(
+            self.counters[row * self.width + node_hash] for row in range(self.width)
+        )
+
+
+class TCM:
+    """Multi-sketch TCM summary.
+
+    Parameters
+    ----------
+    width:
+        Matrix side length ``M`` of each sketch.
+    depth:
+        Number of independent sketches (the paper's experiments use 4).
+    seed:
+        Base seed; sketch ``i`` uses ``seed + i``.
+    """
+
+    def __init__(self, width: int, depth: int = 4, seed: int = 0) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.width = width
+        self.depth = depth
+        self._sketches = [_TCMSketch(width, seed + index) for index in range(depth)]
+        self._update_count = 0
+
+    # -- updates ------------------------------------------------------------
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Apply one stream item to every sketch."""
+        self._update_count += 1
+        for sketch in self._sketches:
+            sketch.update(source, destination, weight)
+
+    def ingest(self, edges) -> "TCM":
+        """Feed an iterable of stream edges."""
+        for edge in edges:
+            self.update(edge.source, edge.destination, edge.weight)
+        return self
+
+    # -- primitives ------------------------------------------------------------
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+        """Minimum counter over the sketches; ``-1`` when every sketch says 0."""
+        estimate = min(
+            sketch.edge_weight(source, destination) for sketch in self._sketches
+        )
+        return estimate if estimate > 0 else EDGE_NOT_FOUND
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Intersection of the per-sketch successor candidates (original IDs)."""
+        results = [sketch.successor_ids(node) for sketch in self._sketches]
+        common = results[0]
+        for candidate in results[1:]:
+            common &= candidate
+        return common
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Intersection of the per-sketch precursor candidates."""
+        results = [sketch.precursor_ids(node) for sketch in self._sketches]
+        common = results[0]
+        for candidate in results[1:]:
+            common &= candidate
+        return common
+
+    # -- compound helpers -------------------------------------------------------
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """Node query: smallest per-sketch estimate of the aggregated out-weight."""
+        return min(sketch.node_out_weight(node) for sketch in self._sketches)
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """Smallest per-sketch estimate of the aggregated in-weight."""
+        return min(sketch.node_in_weight(node) for sketch in self._sketches)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def update_count(self) -> int:
+        """Number of stream items applied."""
+        return self._update_count
+
+    def memory_bytes(self) -> int:
+        """Counter memory under a C layout (32-bit counters)."""
+        return self.depth * self.width * self.width * 4
+
+    @classmethod
+    def with_memory_of(
+        cls, gss_memory_bytes: int, memory_ratio: float = 8.0, depth: int = 4, seed: int = 0
+    ) -> "TCM":
+        """Build a TCM whose total counter memory is ``memory_ratio`` times a
+        given GSS memory budget — the construction used throughout Section VII
+        (TCM is allowed 8x memory for edge queries, 256x for the others).
+        """
+        total_bytes = gss_memory_bytes * memory_ratio
+        per_sketch_counters = max(1.0, total_bytes / (4 * depth))
+        width = max(2, int(per_sketch_counters ** 0.5))
+        return cls(width=width, depth=depth, seed=seed)
+
+
+def tcm_successor_union(tcm: TCM, node: Hashable) -> Dict[str, Set[Hashable]]:
+    """Debug helper returning both the union and intersection candidate sets."""
+    per_sketch = [sketch.successor_ids(node) for sketch in tcm._sketches]
+    union: Set[Hashable] = set()
+    for candidates in per_sketch:
+        union |= candidates
+    intersection = per_sketch[0]
+    for candidates in per_sketch[1:]:
+        intersection &= candidates
+    return {"union": union, "intersection": intersection}

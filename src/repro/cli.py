@@ -1,0 +1,144 @@
+"""Command-line front-end: ``python -m repro <experiment>``.
+
+Each sub-command regenerates one table or figure of the paper and prints the
+result rows as an aligned text table.  ``--scale`` controls the synthetic
+dataset size, ``--paper-scale`` switches to the full configuration (all five
+datasets, full query sets), and ``--quick`` runs the tiny smoke configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_algorithm_agreement_experiment,
+    run_buffer_experiment,
+    run_candidate_ablation,
+    run_edge_query_experiment,
+    run_figure3,
+    run_fingerprint_ablation,
+    run_heavy_changer_experiment,
+    run_memory_experiment,
+    run_node_query_experiment,
+    run_partition_experiment,
+    run_precursor_experiment,
+    run_reachability_experiment,
+    run_rooms_ablation,
+    run_sequence_length_ablation,
+    run_subgraph_experiment,
+    run_successor_experiment,
+    run_triangle_experiment,
+    run_update_speed_experiment,
+    run_window_experiment,
+)
+
+#: Paper artifacts (tables and figures).
+_PAPER_RUNNERS: Dict[str, Callable] = {
+    "fig3": run_figure3,
+    "fig8": run_edge_query_experiment,
+    "fig9": run_precursor_experiment,
+    "fig10": run_successor_experiment,
+    "fig11": run_node_query_experiment,
+    "fig12": run_reachability_experiment,
+    "fig13": run_buffer_experiment,
+    "tab1": run_update_speed_experiment,
+    "fig14": run_triangle_experiment,
+    "fig15": run_subgraph_experiment,
+}
+
+#: Extension studies (ablations and deployment wrappers); run with their name
+#: or with the ``extensions`` pseudo-experiment.
+_EXTENSION_RUNNERS: Dict[str, Callable] = {
+    "ablation-fingerprint": run_fingerprint_ablation,
+    "ablation-sequence": run_sequence_length_ablation,
+    "ablation-candidates": run_candidate_ablation,
+    "ablation-rooms": run_rooms_ablation,
+    "window": run_window_experiment,
+    "partition": run_partition_experiment,
+    "changers": run_heavy_changer_experiment,
+    "algorithms": run_algorithm_agreement_experiment,
+    "memory": run_memory_experiment,
+}
+
+_RUNNERS: Dict[str, Callable] = {**_PAPER_RUNNERS, **_EXTENSION_RUNNERS}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gss",
+        description="Reproduce the tables and figures of 'Fast and Accurate "
+        "Graph Stream Summarization' (GSS, ICDE 2019).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(list(_RUNNERS) + ["all", "extensions"]),
+        help=(
+            "which table/figure to regenerate; 'all' runs every paper artifact, "
+            "'extensions' runs the ablation and deployment studies"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale factor (default from the chosen configuration)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        help="restrict to these dataset analogs (default: configuration's set)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny smoke-test configuration"
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="full configuration: all five datasets, full query sets",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Translate parsed CLI arguments into an :class:`ExperimentConfig`."""
+    if args.quick and args.paper_scale:
+        raise SystemExit("--quick and --paper-scale are mutually exclusive")
+    if args.quick:
+        config = ExperimentConfig.quick()
+    elif args.paper_scale:
+        config = ExperimentConfig.paper_scale()
+    else:
+        config = ExperimentConfig()
+    if args.scale is not None:
+        config.dataset_scale = args.scale
+    if args.datasets is not None:
+        config.datasets = tuple(args.datasets)
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro-gss`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = config_from_args(args)
+
+    if args.experiment == "all":
+        names = sorted(_PAPER_RUNNERS)
+    elif args.experiment == "extensions":
+        names = sorted(_EXTENSION_RUNNERS)
+    else:
+        names = [args.experiment]
+    for name in names:
+        result = _RUNNERS[name](config)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The basic GSS of Section IV (no square hashing, one room, no sampling).
+
+Kept as a separate, deliberately simple class because the paper presents it as
+the conceptual stepping stone: one mapped bucket per edge determined directly
+by the address pair ``(h(s), h(d))``, fingerprints to disambiguate edges that
+share a bucket, and an adjacency-list buffer for everything that collides.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Set, Tuple
+
+from repro.core.buffer import LeftoverBuffer
+from repro.core.reverse_index import NodeIndex
+from repro.hashing.hash_functions import NodeHasher
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+
+class GSSBasic:
+    """Basic Graph Stream Sketch: an ``m x m`` fingerprint matrix plus buffer."""
+
+    def __init__(
+        self,
+        matrix_width: int,
+        fingerprint_bits: int = 16,
+        keep_node_index: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if matrix_width <= 0:
+            raise ValueError("matrix_width must be positive")
+        if not 1 <= fingerprint_bits <= 32:
+            raise ValueError("fingerprint_bits must be between 1 and 32")
+        self.matrix_width = matrix_width
+        self.fingerprint_bits = fingerprint_bits
+        self.fingerprint_range = 1 << fingerprint_bits
+        self.hash_range = matrix_width * self.fingerprint_range
+        self._hasher = NodeHasher(value_range=self.hash_range, seed=seed)
+        # One room per bucket: (f_s, f_d, weight) or None.
+        self._cells: List[Optional[List]] = [None] * (matrix_width * matrix_width)
+        self._buffer = LeftoverBuffer()
+        self._node_index: Optional[NodeIndex] = NodeIndex() if keep_node_index else None
+        self._matrix_edge_count = 0
+
+    # -- hashing ------------------------------------------------------------
+
+    def node_hash(self, node: Hashable) -> int:
+        """``H(node)``."""
+        return self._hasher(node)
+
+    def _split(self, node_hash: int) -> Tuple[int, int]:
+        return node_hash // self.fingerprint_range, node_hash % self.fingerprint_range
+
+    # -- updates ------------------------------------------------------------
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Apply one stream item."""
+        source_hash = self._hasher(source)
+        destination_hash = self._hasher(destination)
+        if self._node_index is not None:
+            self._node_index.record(source, source_hash)
+            self._node_index.record(destination, destination_hash)
+        source_address, source_fp = self._split(source_hash)
+        destination_address, destination_fp = self._split(destination_hash)
+        position = source_address * self.matrix_width + destination_address
+        cell = self._cells[position]
+        if cell is None:
+            self._cells[position] = [source_fp, destination_fp, weight]
+            self._matrix_edge_count += 1
+            return
+        if cell[0] == source_fp and cell[1] == destination_fp:
+            cell[2] += weight
+            return
+        self._buffer.add(source_hash, destination_hash, weight)
+
+    # -- primitives ------------------------------------------------------------
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+        """Weight of the edge, or ``EDGE_NOT_FOUND`` when absent."""
+        source_hash = self._hasher(source)
+        destination_hash = self._hasher(destination)
+        source_address, source_fp = self._split(source_hash)
+        destination_address, destination_fp = self._split(destination_hash)
+        cell = self._cells[source_address * self.matrix_width + destination_address]
+        if cell is not None and cell[0] == source_fp and cell[1] == destination_fp:
+            return cell[2]
+        buffered = self._buffer.get(source_hash, destination_hash)
+        if buffered is not None:
+            return buffered
+        return EDGE_NOT_FOUND
+
+    def successor_hashes(self, node: Hashable) -> Set[int]:
+        """Sketch hashes of 1-hop successors: scan the node's row."""
+        node_hash = self._hasher(node)
+        address, fingerprint = self._split(node_hash)
+        found: Set[int] = set()
+        base = address * self.matrix_width
+        for column in range(self.matrix_width):
+            cell = self._cells[base + column]
+            if cell is not None and cell[0] == fingerprint:
+                found.add(column * self.fingerprint_range + cell[1])
+        found.update(self._buffer.successors_of(node_hash))
+        return found
+
+    def precursor_hashes(self, node: Hashable) -> Set[int]:
+        """Sketch hashes of 1-hop precursors: scan the node's column."""
+        node_hash = self._hasher(node)
+        address, fingerprint = self._split(node_hash)
+        found: Set[int] = set()
+        for row in range(self.matrix_width):
+            cell = self._cells[row * self.matrix_width + address]
+            if cell is not None and cell[1] == fingerprint:
+                found.add(row * self.fingerprint_range + cell[0])
+        found.update(self._buffer.precursors_of(node_hash))
+        return found
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Original node IDs 1-hop reachable from ``node``."""
+        return self._expand(self.successor_hashes(node))
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Original node IDs that reach ``node`` in one hop."""
+        return self._expand(self.precursor_hashes(node))
+
+    def _expand(self, hashes: Set[int]) -> Set[Hashable]:
+        if self._node_index is None:
+            raise RuntimeError("original-ID queries require keep_node_index=True")
+        return self._node_index.expand(hashes)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def buffer(self) -> LeftoverBuffer:
+        """The left-over edge buffer."""
+        return self._buffer
+
+    @property
+    def matrix_edge_count(self) -> int:
+        """Distinct sketch edges stored in the matrix."""
+        return self._matrix_edge_count
+
+    @property
+    def buffer_edge_count(self) -> int:
+        """Distinct sketch edges stored in the buffer."""
+        return len(self._buffer)
+
+    @property
+    def buffer_percentage(self) -> float:
+        """Fraction of stored sketch edges that live in the buffer."""
+        total = self._matrix_edge_count + len(self._buffer)
+        return len(self._buffer) / total if total else 0.0
+
+    def memory_bytes(self) -> int:
+        """Memory under the paper's C layout."""
+        room_bits = 2 * self.fingerprint_bits + 32
+        matrix_bytes = self.matrix_width * self.matrix_width * room_bits // 8
+        return matrix_bytes + self._buffer.memory_bytes()

@@ -1,0 +1,135 @@
+"""An ensemble of independent GSS sketches (the multi-sketch estimator).
+
+Section II of the paper notes that, when memory allows, one can "build
+multiple sketches with different hash functions, and report the most accurate
+value in queries" — TCM's standard trick.  GSS rarely needs it (its errors are
+already tiny), but the ensemble is useful in two situations the extension
+experiments look at:
+
+* extremely tight fingerprints (4–8 bits), where individual sketches do
+  collide and taking the minimum across independent hash functions removes
+  most of the remaining over-estimation;
+* neighbor queries on very dense sketches, where intersecting the successor
+  sets of independent sketches strips false positives.
+
+Because every member only over-estimates weights and only adds false-positive
+neighbors, the combination rules are simply *min* for weights and
+*intersection* for neighbor sets, both of which preserve the one-sided error
+guarantees (never under-estimate, never miss a true neighbor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Hashable, List, Set
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+
+class GSSEnsemble:
+    """Several independent GSS sketches queried together.
+
+    Parameters
+    ----------
+    config:
+        Base configuration; member ``i`` uses ``seed + i`` so the node hash
+        functions are independent.
+    sketches:
+        Number of member sketches (the ensemble uses ``sketches`` times the
+        memory of a single GSS).
+
+    Examples
+    --------
+    >>> ensemble = GSSEnsemble(GSSConfig(matrix_width=16, fingerprint_bits=8), sketches=3)
+    >>> ensemble.update("a", "b", 2.0)
+    >>> ensemble.edge_query("a", "b")
+    2.0
+    """
+
+    def __init__(self, config: GSSConfig, sketches: int = 2) -> None:
+        if sketches < 1:
+            raise ValueError("sketches must be at least 1")
+        self.config = config
+        self._members: List[GSS] = [
+            GSS(replace(config, seed=config.seed + offset)) for offset in range(sketches)
+        ]
+        self._update_count = 0
+
+    @property
+    def members(self) -> List[GSS]:
+        """The member sketches (read-only use intended)."""
+        return self._members
+
+    @property
+    def update_count(self) -> int:
+        """Number of stream items applied to the ensemble."""
+        return self._update_count
+
+    # -- updates --------------------------------------------------------------
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Apply one stream item to every member sketch."""
+        self._update_count += 1
+        for member in self._members:
+            member.update(source, destination, weight)
+
+    def ingest(self, edges) -> "GSSEnsemble":
+        """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
+        for edge in edges:
+            self.update(edge.source, edge.destination, edge.weight)
+        return self
+
+    # -- query primitives ------------------------------------------------------
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+        """Minimum of the members' estimates (the most accurate one).
+
+        Returns ``-1`` only when every member reports the edge as absent,
+        which preserves the no-false-negative property.
+        """
+        estimates = [member.edge_query(source, destination) for member in self._members]
+        present = [estimate for estimate in estimates if estimate != EDGE_NOT_FOUND]
+        if len(present) < len(estimates):
+            # At least one member is certain the edge never appeared.
+            return EDGE_NOT_FOUND
+        return min(present)
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Intersection of the members' successor sets."""
+        result: Set[Hashable] = self._members[0].successor_query(node)
+        for member in self._members[1:]:
+            result &= member.successor_query(node)
+        return result
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Intersection of the members' precursor sets."""
+        result: Set[Hashable] = self._members[0].precursor_query(node)
+        for member in self._members[1:]:
+            result &= member.precursor_query(node)
+        return result
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """Minimum of the members' node-query estimates."""
+        return min(member.node_out_weight(node) for member in self._members)
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """Minimum of the members' in-weight estimates."""
+        return min(member.node_in_weight(node) for member in self._members)
+
+    # -- introspection -----------------------------------------------------------
+
+    def memory_bytes(self, include_node_index: bool = False) -> int:
+        """Total memory of every member under the paper's C layout."""
+        return sum(
+            member.memory_bytes(include_node_index=include_node_index)
+            for member in self._members
+        )
+
+    @property
+    def buffer_percentage(self) -> float:
+        """Mean buffer share across members."""
+        if not self._members:
+            return 0.0
+        return sum(member.buffer_percentage for member in self._members) / len(self._members)

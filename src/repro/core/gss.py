@@ -1,0 +1,437 @@
+"""The full Graph Stream Sketch (Section V of the paper).
+
+The sketch stores the graph sketch ``Gh`` (obtained by hashing node IDs into
+``[0, M)`` with ``M = m * F``) in an ``m x m`` matrix of buckets plus a small
+left-over buffer.  Every bucket holds ``l`` rooms; every room records the
+fingerprint pair, the index pair (which member of each endpoint's address
+sequence produced this row/column) and the aggregated weight.
+
+Square hashing gives every node ``r`` alternative rows/columns derived from a
+linear-congruential sequence seeded by its fingerprint, and candidate-bucket
+sampling probes only ``k`` of the resulting ``r * r`` buckets per edge.  Both
+optimizations — and the number of rooms — can be switched off to reproduce the
+paper's ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.buffer import LeftoverBuffer
+from repro.core.config import GSSConfig
+from repro.core.reverse_index import NodeIndex
+from repro.hashing.hash_functions import NodeHasher
+from repro.hashing.linear_congruence import (
+    LinearCongruentialSequence,
+    address_sequence,
+    candidate_sequence,
+    recover_address,
+    unique_candidates,
+)
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+# A room is a mutable 5-slot list: [f_s, f_d, i_s, i_d, weight].
+_ROOM_SOURCE_FP = 0
+_ROOM_DEST_FP = 1
+_ROOM_SOURCE_INDEX = 2
+_ROOM_DEST_INDEX = 3
+_ROOM_WEIGHT = 4
+
+
+class GSS:
+    """Graph Stream Sketch with square hashing, sampling and multiple rooms.
+
+    Parameters are supplied through :class:`~repro.core.config.GSSConfig`;
+    the most common construction is::
+
+        sketch = GSS(GSSConfig.for_edge_count(expected_edges=100_000))
+        for item in stream:
+            sketch.update(item.source, item.destination, item.weight)
+        weight = sketch.edge_query("a", "b")
+        successors = sketch.successor_query("a")
+    """
+
+    def __init__(self, config: GSSConfig) -> None:
+        self.config = config
+        self._width = config.matrix_width
+        self._fingerprint_range = config.fingerprint_range
+        self._hasher = NodeHasher(value_range=config.hash_range, seed=config.seed)
+        self._lcg = LinearCongruentialSequence()
+        # One slot per bucket; a bucket is lazily created as a list of rooms.
+        self._buckets: List[Optional[List[List]]] = [None] * (self._width * self._width)
+        self._buffer = LeftoverBuffer()
+        self._node_index: Optional[NodeIndex] = NodeIndex() if config.keep_node_index else None
+        self._matrix_edge_count = 0
+        self._update_count = 0
+        self._address_cache: Dict[int, List[int]] = {}
+
+    # -- hashing helpers -----------------------------------------------------
+
+    def node_hash(self, node: Hashable) -> int:
+        """``H(node)`` in ``[0, m * F)``."""
+        return self._hasher(node)
+
+    def _split(self, node_hash: int) -> Tuple[int, int]:
+        """Split ``H(v)`` into ``(h(v), f(v))``."""
+        return node_hash // self._fingerprint_range, node_hash % self._fingerprint_range
+
+    def _addresses(self, node_hash: int) -> List[int]:
+        """The square-hashing address sequence ``{h_i(v)}`` of a node hash."""
+        cached = self._address_cache.get(node_hash)
+        if cached is not None:
+            return cached
+        base_address, fingerprint = self._split(node_hash)
+        if self.config.square_hashing:
+            addresses = address_sequence(
+                base_address,
+                fingerprint,
+                self.config.sequence_length,
+                self._width,
+                self._lcg,
+            )
+        else:
+            addresses = [base_address % self._width]
+        self._address_cache[node_hash] = addresses
+        return addresses
+
+    def _candidate_pairs(
+        self, source_fingerprint: int, destination_fingerprint: int
+    ) -> List[Tuple[int, int]]:
+        """Which (row-index, column-index) pairs to probe for an edge.
+
+        Returns 0-based indices into the two address sequences, in probe
+        order.  Without square hashing there is a single pair; without
+        sampling all ``r * r`` pairs are probed row-first.
+        """
+        if not self.config.square_hashing:
+            return [(0, 0)]
+        r = self.config.sequence_length
+        if not self.config.sampling:
+            return [(i, j) for i in range(r) for j in range(r)]
+        pairs = candidate_sequence(
+            source_fingerprint,
+            destination_fingerprint,
+            self.config.candidate_buckets,
+            r,
+            self._lcg,
+        )
+        return unique_candidates(pairs)
+
+    def _bucket_at(self, row: int, column: int) -> Optional[List[List]]:
+        return self._buckets[row * self._width + column]
+
+    def _ensure_bucket(self, row: int, column: int) -> List[List]:
+        position = row * self._width + column
+        bucket = self._buckets[position]
+        if bucket is None:
+            bucket = []
+            self._buckets[position] = bucket
+        return bucket
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Apply one stream item: add ``weight`` to edge ``source -> destination``.
+
+        Negative weights model deletions of earlier items, exactly as in the
+        streaming-graph semantics of Definition 1.
+        """
+        self._update_count += 1
+        source_hash = self._hasher(source)
+        destination_hash = self._hasher(destination)
+        if self._node_index is not None:
+            self._node_index.record(source, source_hash)
+            self._node_index.record(destination, destination_hash)
+        self._insert_sketch_edge(source_hash, destination_hash, weight)
+
+    def update_by_hash(
+        self, source_hash: int, destination_hash: int, weight: float = 1.0
+    ) -> None:
+        """Apply one sketch-level update addressed by node hashes directly.
+
+        Used when merging sketches or replaying edges recovered with
+        :meth:`reconstruct_sketch_edges`, where the original node IDs may no
+        longer be available.  The reverse node index is left untouched.
+        """
+        self._update_count += 1
+        self._insert_sketch_edge(source_hash, destination_hash, weight)
+
+    def _insert_sketch_edge(
+        self, source_hash: int, destination_hash: int, weight: float
+    ) -> None:
+        """Insert (or aggregate) one edge of the graph sketch ``Gh``."""
+        _, source_fp = self._split(source_hash)
+        _, destination_fp = self._split(destination_hash)
+        source_addresses = self._addresses(source_hash)
+        destination_addresses = self._addresses(destination_hash)
+        rooms_per_bucket = self.config.rooms
+
+        for source_index, destination_index in self._candidate_pairs(source_fp, destination_fp):
+            row = source_addresses[source_index]
+            column = destination_addresses[destination_index]
+            bucket = self._bucket_at(row, column)
+            stored_source_index = source_index + 1
+            stored_destination_index = destination_index + 1
+            if bucket is not None:
+                for room in bucket:
+                    if (
+                        room[_ROOM_SOURCE_FP] == source_fp
+                        and room[_ROOM_DEST_FP] == destination_fp
+                        and room[_ROOM_SOURCE_INDEX] == stored_source_index
+                        and room[_ROOM_DEST_INDEX] == stored_destination_index
+                    ):
+                        room[_ROOM_WEIGHT] += weight
+                        return
+            occupied = 0 if bucket is None else len(bucket)
+            if occupied < rooms_per_bucket:
+                bucket = self._ensure_bucket(row, column)
+                bucket.append(
+                    [
+                        source_fp,
+                        destination_fp,
+                        stored_source_index,
+                        stored_destination_index,
+                        weight,
+                    ]
+                )
+                self._matrix_edge_count += 1
+                return
+        self._buffer.add(source_hash, destination_hash, weight)
+
+    # -- query primitives -------------------------------------------------------
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+        """Return the aggregated weight of ``source -> destination`` or ``-1``.
+
+        Only over-estimation errors are possible (when the additions cumulate
+        weights): if the true edge exists its weight is always reported.
+        """
+        source_hash = self._hasher(source)
+        destination_hash = self._hasher(destination)
+        return self.edge_query_by_hash(source_hash, destination_hash)
+
+    def edge_query_by_hash(self, source_hash: int, destination_hash: int) -> float:
+        """Edge query addressed directly by sketch hashes."""
+        _, source_fp = self._split(source_hash)
+        _, destination_fp = self._split(destination_hash)
+        source_addresses = self._addresses(source_hash)
+        destination_addresses = self._addresses(destination_hash)
+
+        for source_index, destination_index in self._candidate_pairs(source_fp, destination_fp):
+            row = source_addresses[source_index]
+            column = destination_addresses[destination_index]
+            bucket = self._bucket_at(row, column)
+            if bucket is None:
+                continue
+            stored_source_index = source_index + 1
+            stored_destination_index = destination_index + 1
+            for room in bucket:
+                if (
+                    room[_ROOM_SOURCE_FP] == source_fp
+                    and room[_ROOM_DEST_FP] == destination_fp
+                    and room[_ROOM_SOURCE_INDEX] == stored_source_index
+                    and room[_ROOM_DEST_INDEX] == stored_destination_index
+                ):
+                    return room[_ROOM_WEIGHT]
+        buffered = self._buffer.get(source_hash, destination_hash)
+        if buffered is not None:
+            return buffered
+        return EDGE_NOT_FOUND
+
+    def successor_hashes(self, node: Hashable) -> Set[int]:
+        """Sketch hashes of the 1-hop successors of ``node``."""
+        node_hash = self._hasher(node)
+        return self._neighbor_hashes(node_hash, forward=True)
+
+    def precursor_hashes(self, node: Hashable) -> Set[int]:
+        """Sketch hashes of the 1-hop precursors of ``node``."""
+        node_hash = self._hasher(node)
+        return self._neighbor_hashes(node_hash, forward=False)
+
+    def _neighbor_hashes(self, node_hash: int, forward: bool) -> Set[int]:
+        """Scan ``r`` rows (or columns) for edges touching ``node_hash``.
+
+        ``forward=True`` looks for out-going edges (successors): the node's
+        fingerprint must match the *source* fingerprint of a room and the
+        room's source index must equal the row's position in the node's
+        address sequence.  The destination hash is then recovered from the
+        column, the destination fingerprint and the destination index
+        (Theorem 1 reversibility).  ``forward=False`` is the symmetric column
+        scan for precursors.
+        """
+        _, fingerprint = self._split(node_hash)
+        addresses = self._addresses(node_hash)
+        found: Set[int] = set()
+        width = self._width
+
+        own_fp_slot = _ROOM_SOURCE_FP if forward else _ROOM_DEST_FP
+        own_index_slot = _ROOM_SOURCE_INDEX if forward else _ROOM_DEST_INDEX
+        other_fp_slot = _ROOM_DEST_FP if forward else _ROOM_SOURCE_FP
+        other_index_slot = _ROOM_DEST_INDEX if forward else _ROOM_SOURCE_INDEX
+
+        for position, address in enumerate(addresses):
+            expected_index = position + 1
+            for offset in range(width):
+                if forward:
+                    bucket = self._bucket_at(address, offset)
+                else:
+                    bucket = self._bucket_at(offset, address)
+                if bucket is None:
+                    continue
+                for room in bucket:
+                    if room[own_fp_slot] != fingerprint:
+                        continue
+                    if room[own_index_slot] != expected_index:
+                        continue
+                    other_fp = room[other_fp_slot]
+                    other_index = room[other_index_slot]
+                    if self.config.square_hashing:
+                        other_base = recover_address(
+                            offset, other_fp, other_index, width, self._lcg
+                        )
+                    else:
+                        other_base = offset
+                    found.add(other_base * self._fingerprint_range + other_fp)
+
+        if forward:
+            found.update(self._buffer.successors_of(node_hash))
+        else:
+            found.update(self._buffer.precursors_of(node_hash))
+        return found
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Original node IDs that are 1-hop reachable from ``node``.
+
+        Requires the reverse node index (``keep_node_index=True``).  The
+        result can only contain false positives, never miss a true successor.
+        """
+        return self._expand(self.successor_hashes(node))
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Original node IDs that reach ``node`` in one hop."""
+        return self._expand(self.precursor_hashes(node))
+
+    def _expand(self, hashes: Set[int]) -> Set[Hashable]:
+        if self._node_index is None:
+            raise RuntimeError(
+                "successor/precursor queries over original IDs require "
+                "keep_node_index=True; use successor_hashes/precursor_hashes instead"
+            )
+        return self._node_index.expand(hashes)
+
+    # -- compound helpers -------------------------------------------------------
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """Node query: total weight of out-going edges of ``node``.
+
+        Computed by summing the edge-query estimate over the recovered
+        successor hashes, which mirrors how the paper composes node queries
+        from the primitives.
+        """
+        node_hash = self._hasher(node)
+        total = 0.0
+        for successor_hash in self._neighbor_hashes(node_hash, forward=True):
+            weight = self.edge_query_by_hash(node_hash, successor_hash)
+            if weight != EDGE_NOT_FOUND:
+                total += weight
+        return total
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """Total weight of in-coming edges of ``node``."""
+        node_hash = self._hasher(node)
+        total = 0.0
+        for precursor_hash in self._neighbor_hashes(node_hash, forward=False):
+            weight = self.edge_query_by_hash(precursor_hash, node_hash)
+            if weight != EDGE_NOT_FOUND:
+                total += weight
+        return total
+
+    def reconstruct_sketch_edges(self) -> List[Tuple[int, int, float]]:
+        """Recover every edge of the graph sketch ``Gh`` stored in the matrix
+        and buffer as ``(H(s), H(d), weight)`` triples.
+
+        This demonstrates the paper's claim that the whole graph can be
+        re-constructed from the data structure.
+        """
+        edges: List[Tuple[int, int, float]] = []
+        width = self._width
+        for row in range(width):
+            for column in range(width):
+                bucket = self._bucket_at(row, column)
+                if bucket is None:
+                    continue
+                for room in bucket:
+                    source_fp = room[_ROOM_SOURCE_FP]
+                    destination_fp = room[_ROOM_DEST_FP]
+                    if self.config.square_hashing:
+                        source_base = recover_address(
+                            row, source_fp, room[_ROOM_SOURCE_INDEX], width, self._lcg
+                        )
+                        destination_base = recover_address(
+                            column, destination_fp, room[_ROOM_DEST_INDEX], width, self._lcg
+                        )
+                    else:
+                        source_base = row
+                        destination_base = column
+                    edges.append(
+                        (
+                            source_base * self._fingerprint_range + source_fp,
+                            destination_base * self._fingerprint_range + destination_fp,
+                            room[_ROOM_WEIGHT],
+                        )
+                    )
+        edges.extend(self._buffer.edges())
+        return edges
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def node_index(self) -> Optional[NodeIndex]:
+        """The reverse node table, or ``None`` when disabled."""
+        return self._node_index
+
+    @property
+    def buffer(self) -> LeftoverBuffer:
+        """The left-over edge buffer."""
+        return self._buffer
+
+    @property
+    def matrix_edge_count(self) -> int:
+        """Distinct sketch edges stored in matrix rooms."""
+        return self._matrix_edge_count
+
+    @property
+    def buffer_edge_count(self) -> int:
+        """Distinct sketch edges stored in the left-over buffer."""
+        return len(self._buffer)
+
+    @property
+    def update_count(self) -> int:
+        """Number of stream items applied so far."""
+        return self._update_count
+
+    @property
+    def buffer_percentage(self) -> float:
+        """Fraction of stored sketch edges that had to go to the buffer."""
+        total = self._matrix_edge_count + len(self._buffer)
+        if total == 0:
+            return 0.0
+        return len(self._buffer) / total
+
+    def occupancy(self) -> float:
+        """Fraction of matrix rooms currently occupied."""
+        capacity = self._width * self._width * self.config.rooms
+        return self._matrix_edge_count / capacity if capacity else 0.0
+
+    def memory_bytes(self, include_node_index: bool = False) -> int:
+        """Memory footprint under the paper's C layout (see GSSConfig)."""
+        total = self.config.matrix_memory_bytes() + self._buffer.memory_bytes()
+        if include_node_index and self._node_index is not None:
+            total += self._node_index.memory_bytes()
+        return total
+
+    def ingest(self, edges: Sequence) -> "GSS":
+        """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
+        for edge in edges:
+            self.update(edge.source, edge.destination, edge.weight)
+        return self

@@ -1,0 +1,217 @@
+"""A sharded GSS, modelling deployment inside a distributed graph system.
+
+The paper's introduction notes that GSS "can also be used in existing
+distributed graph systems" (GraphX, PowerGraph, Pregel, GraphLab).  Those
+systems partition the edge set across workers; this module reproduces that
+deployment pattern on a single machine:
+
+* edges are routed to one of ``partitions`` independent GSS shards by hashing
+  the *source* node (source-cut partitioning, the scheme Pregel-style systems
+  use for out-edges);
+* every shard is an ordinary :class:`~repro.core.gss.GSS` with its own matrix
+  and buffer, so shard updates are independent and could run in parallel;
+* edge and successor queries touch exactly one shard (the owner of the source
+  node); precursor queries and node in-weight must fan out to all shards,
+  mirroring the scatter/gather cost profile of real distributed systems.
+
+The class implements the same query-primitive interface as ``GSS`` itself, so
+the whole compound-query layer (reachability, triangles, subgraph matching,
+PageRank, ...) runs unchanged on top of a partitioned deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Set
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.hashing.hash_functions import hash_key
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+
+class PartitionedGSS:
+    """GSS sharded over ``partitions`` source-partitioned shards.
+
+    Parameters
+    ----------
+    config:
+        Configuration of every shard.  A deployment that wants the same total
+        capacity as a monolithic sketch of width ``m`` should use shards of
+        width roughly ``m / sqrt(partitions)``;
+        :meth:`for_total_capacity` does that arithmetic.
+    partitions:
+        Number of shards.
+    routing_seed:
+        Seed of the hash used to route source nodes to shards, independent
+        from the sketches' own node hash.
+
+    Examples
+    --------
+    >>> sharded = PartitionedGSS(GSSConfig(matrix_width=16), partitions=4)
+    >>> sharded.update("a", "b", 2.0)
+    >>> sharded.edge_query("a", "b")
+    2.0
+    >>> sorted(sharded.successor_query("a"))
+    ['b']
+    """
+
+    def __init__(
+        self, config: GSSConfig, partitions: int = 4, routing_seed: int = 97
+    ) -> None:
+        if partitions < 1:
+            raise ValueError("partitions must be at least 1")
+        self.config = config
+        self.partitions = partitions
+        self._routing_seed = routing_seed
+        self._shards: List[GSS] = [GSS(config) for _ in range(partitions)]
+        self._update_count = 0
+
+    @classmethod
+    def for_total_capacity(
+        cls,
+        expected_edges: int,
+        partitions: int = 4,
+        fingerprint_bits: int = 16,
+        **config_overrides,
+    ) -> "PartitionedGSS":
+        """Build shards whose combined matrix holds ``expected_edges`` rooms.
+
+        Each shard receives an equal portion of the expected edges, so the
+        per-shard width follows the paper's ``m ~ sqrt(|E| / partitions)``
+        guidance.
+        """
+        if expected_edges <= 0:
+            raise ValueError("expected_edges must be positive")
+        per_shard = max(1, expected_edges // max(1, partitions))
+        config = GSSConfig.for_edge_count(
+            per_shard, fingerprint_bits=fingerprint_bits, **config_overrides
+        )
+        return cls(config, partitions=partitions)
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_of(self, node: Hashable) -> int:
+        """Index of the shard that owns the out-edges of ``node``."""
+        return hash_key(node, seed=self._routing_seed) % self.partitions
+
+    @property
+    def shards(self) -> List[GSS]:
+        """The underlying per-partition sketches (read-only use intended)."""
+        return self._shards
+
+    # -- updates --------------------------------------------------------------
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Route one stream item to the shard owning its source node."""
+        self._update_count += 1
+        self._shards[self.shard_of(source)].update(source, destination, weight)
+
+    def ingest(self, edges) -> "PartitionedGSS":
+        """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
+        for edge in edges:
+            self.update(edge.source, edge.destination, edge.weight)
+        return self
+
+    # -- query primitives ------------------------------------------------------
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+        """Edge query served by the single shard owning ``source``."""
+        return self._shards[self.shard_of(source)].edge_query(source, destination)
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Successor query served by the single shard owning ``node``."""
+        return self._shards[self.shard_of(node)].successor_query(node)
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Precursor query: fans out to every shard and unions the answers."""
+        result: Set[Hashable] = set()
+        for shard in self._shards:
+            result.update(shard.precursor_query(node))
+        return result
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """Node query (total out-weight), served by the owning shard."""
+        return self._shards[self.shard_of(node)].node_out_weight(node)
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """Total in-coming weight of ``node``, gathered from every shard."""
+        return sum(shard.node_in_weight(node) for shard in self._shards)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def update_count(self) -> int:
+        """Number of stream items applied across all shards."""
+        return self._update_count
+
+    @property
+    def matrix_edge_count(self) -> int:
+        """Distinct sketch edges stored in shard matrices."""
+        return sum(shard.matrix_edge_count for shard in self._shards)
+
+    @property
+    def buffer_edge_count(self) -> int:
+        """Distinct sketch edges stored in shard buffers."""
+        return sum(shard.buffer_edge_count for shard in self._shards)
+
+    @property
+    def buffer_percentage(self) -> float:
+        """Fraction of stored sketch edges that had to go to shard buffers."""
+        total = self.matrix_edge_count + self.buffer_edge_count
+        return self.buffer_edge_count / total if total else 0.0
+
+    def shard_loads(self) -> List[int]:
+        """Number of sketch edges (matrix + buffer) stored per shard.
+
+        Source-cut routing follows the node-popularity skew of the stream, so
+        the spread of this list quantifies the load imbalance a real
+        distributed deployment would see.
+        """
+        return [
+            shard.matrix_edge_count + shard.buffer_edge_count for shard in self._shards
+        ]
+
+    def load_imbalance(self) -> float:
+        """Max shard load divided by the mean shard load (1.0 = perfectly even)."""
+        loads = self.shard_loads()
+        mean = sum(loads) / len(loads) if loads else 0.0
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    def memory_bytes(self, include_node_index: bool = False) -> int:
+        """Total memory of all shards under the paper's C layout."""
+        return sum(
+            shard.memory_bytes(include_node_index=include_node_index)
+            for shard in self._shards
+        )
+
+    def merge_into_single(self, config: Optional[GSSConfig] = None) -> GSS:
+        """Collapse the shards back into one monolithic sketch.
+
+        The shards' sketch edges are replayed by hash into a fresh ``GSS``
+        (default: same per-shard config), demonstrating that a partitioned
+        deployment can hand a combined summary to a central analyser.  Note
+        that node-ID recovery requires the shards' node indexes, which are
+        merged when present.
+
+        The target configuration must keep the shards' node-hash parameters
+        (same ``hash_range`` and ``seed``), otherwise the replayed hashes
+        would not correspond to the same nodes.
+        """
+        target_config = config if config is not None else self.config
+        if (
+            target_config.hash_range != self.config.hash_range
+            or target_config.seed != self.config.seed
+        ):
+            raise ValueError(
+                "merge target must use the same hash_range and seed as the shards"
+            )
+        target = GSS(target_config)
+        for shard in self._shards:
+            for source_hash, destination_hash, weight in shard.reconstruct_sketch_edges():
+                target.update_by_hash(source_hash, destination_hash, weight)
+            if shard.node_index is not None and target.node_index is not None:
+                for node in shard.node_index.known_nodes():
+                    target.node_index.record(node, shard.node_index.hash_of(node))
+        return target

@@ -1,0 +1,64 @@
+"""Reverse node index: from sketch hash ``H(v)`` back to original node IDs.
+
+The paper stores ``<H(v), v>`` pairs in a hash table "to make this mapping
+procedure reversible" — successor/precursor queries return sketch hashes and
+the table converts them to original node identifiers.  Several original nodes
+may share one hash value (that is exactly the collision the accuracy analysis
+studies), so each hash maps to the *set* of originals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+
+class NodeIndex:
+    """Bidirectional node table: ``original id <-> H(v)``."""
+
+    def __init__(self) -> None:
+        self._originals_of: Dict[int, Set[Hashable]] = {}
+        self._hash_of: Dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._hash_of)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._hash_of
+
+    def record(self, node: Hashable, node_hash: int) -> None:
+        """Remember that ``node`` hashes to ``node_hash``."""
+        if node in self._hash_of:
+            return
+        self._hash_of[node] = node_hash
+        self._originals_of.setdefault(node_hash, set()).add(node)
+
+    def hash_of(self, node: Hashable) -> int:
+        """Return the recorded hash of ``node``; raises ``KeyError`` if unseen."""
+        return self._hash_of[node]
+
+    def originals(self, node_hash: int) -> Set[Hashable]:
+        """All original node IDs that share ``node_hash`` (empty set if none)."""
+        return set(self._originals_of.get(node_hash, ()))
+
+    def expand(self, node_hashes: Iterable[int]) -> Set[Hashable]:
+        """Union of the original IDs behind each hash in ``node_hashes``."""
+        result: Set[Hashable] = set()
+        for node_hash in node_hashes:
+            result |= self._originals_of.get(node_hash, set())
+        return result
+
+    def known_nodes(self) -> List[Hashable]:
+        """Every original node ID recorded so far."""
+        return list(self._hash_of)
+
+    def collision_count(self) -> int:
+        """Number of original nodes sharing a hash with at least one other node."""
+        return sum(
+            len(originals)
+            for originals in self._originals_of.values()
+            if len(originals) > 1
+        )
+
+    def memory_bytes(self) -> int:
+        """Memory of the table under a C layout (hash + pointer per entry)."""
+        return len(self._hash_of) * 16

@@ -1,0 +1,92 @@
+"""Undirected graph streams on top of GSS.
+
+Footnote 1 of the paper notes that "the approach in this paper can be easily
+extended to handle undirected graphs".  The natural construction is to store
+each undirected edge once under a canonical orientation and to answer neighbor
+queries as the union of successors and precursors; this wrapper packages that
+so applications with undirected interactions (mutual friendships, physical
+links) get the same accuracy guarantees without duplicating every edge.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set, Tuple
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+
+def canonical_orientation(a: Hashable, b: Hashable) -> Tuple[Hashable, Hashable]:
+    """A deterministic orientation of an undirected edge (sorted by repr)."""
+    return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+class UndirectedGSS:
+    """GSS specialised for undirected graph streams."""
+
+    def __init__(self, config: GSSConfig) -> None:
+        self._sketch = GSS(config)
+
+    @property
+    def sketch(self) -> GSS:
+        """The underlying directed GSS (edges stored in canonical orientation)."""
+        return self._sketch
+
+    @property
+    def config(self) -> GSSConfig:
+        """The sketch configuration."""
+        return self._sketch.config
+
+    def update(self, first: Hashable, second: Hashable, weight: float = 1.0) -> None:
+        """Add ``weight`` to the undirected edge {first, second}."""
+        source, destination = canonical_orientation(first, second)
+        self._sketch.update(source, destination, weight)
+
+    def ingest(self, edges) -> "UndirectedGSS":
+        """Feed an iterable of stream edges (direction ignored)."""
+        for edge in edges:
+            self.update(edge.source, edge.destination, edge.weight)
+        return self
+
+    def edge_query(self, first: Hashable, second: Hashable) -> float:
+        """Aggregated weight of the undirected edge, or ``EDGE_NOT_FOUND``."""
+        source, destination = canonical_orientation(first, second)
+        return self._sketch.edge_query(source, destination)
+
+    def neighbor_query(self, node: Hashable) -> Set[Hashable]:
+        """All neighbors of ``node`` (union of the two directed primitives)."""
+        return self._sketch.successor_query(node) | self._sketch.precursor_query(node)
+
+    # Directed-primitive aliases so the compound queries in repro.queries
+    # (reachability, triangles, components) work on the undirected view.
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Same as :meth:`neighbor_query` (undirected graphs are symmetric)."""
+        return self.neighbor_query(node)
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Same as :meth:`neighbor_query`."""
+        return self.neighbor_query(node)
+
+    def degree_weight(self, node: Hashable) -> float:
+        """Total weight of edges incident to ``node``."""
+        total = 0.0
+        node_hash = self._sketch.node_hash(node)
+        for neighbor_hash in self._sketch._neighbor_hashes(node_hash, forward=True):
+            weight = self._sketch.edge_query_by_hash(node_hash, neighbor_hash)
+            if weight != EDGE_NOT_FOUND:
+                total += weight
+        for neighbor_hash in self._sketch._neighbor_hashes(node_hash, forward=False):
+            weight = self._sketch.edge_query_by_hash(neighbor_hash, node_hash)
+            if weight != EDGE_NOT_FOUND:
+                total += weight
+        return total
+
+    @property
+    def buffer_percentage(self) -> float:
+        """Fraction of stored sketch edges living in the left-over buffer."""
+        return self._sketch.buffer_percentage
+
+    def memory_bytes(self) -> int:
+        """Memory footprint under the paper's C layout."""
+        return self._sketch.memory_bytes()

@@ -1,0 +1,60 @@
+"""Synthetic dataset substitutes for the paper's evaluation graphs.
+
+The paper evaluates on five public datasets (email-EuAll, cit-HepPh,
+web-NotreDame, lkml-reply and a CAIDA network-flow trace).  This environment
+has no network access, so :mod:`repro.datasets` generates synthetic analogs
+with the properties GSS accuracy actually depends on: number of nodes and
+distinct edges, power-law degree skew, Zipfian edge multiplicities and
+timestamped arrival order.  ``DESIGN.md`` documents the substitution.
+"""
+
+from repro.datasets.zipf import ZipfSampler, zipf_weights
+from repro.datasets.synthetic import (
+    SyntheticGraphSpec,
+    power_law_stream,
+    communication_stream,
+    citation_stream,
+    web_stream,
+)
+from repro.datasets.registry import DATASET_SPECS, load_dataset, list_datasets
+from repro.datasets.generators import (
+    barabasi_albert_stream,
+    bipartite_stream,
+    complete_graph_stream,
+    erdos_renyi_stream,
+    rmat_stream,
+    star_stream,
+)
+from repro.datasets.perturbations import (
+    adversarial_single_row_stream,
+    burst_stream,
+    inject_deletions,
+    inject_duplicates,
+    relabel_nodes,
+    shuffle_stream,
+)
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_weights",
+    "SyntheticGraphSpec",
+    "power_law_stream",
+    "communication_stream",
+    "citation_stream",
+    "web_stream",
+    "DATASET_SPECS",
+    "load_dataset",
+    "list_datasets",
+    "erdos_renyi_stream",
+    "barabasi_albert_stream",
+    "rmat_stream",
+    "bipartite_stream",
+    "complete_graph_stream",
+    "star_stream",
+    "inject_duplicates",
+    "inject_deletions",
+    "shuffle_stream",
+    "burst_stream",
+    "adversarial_single_row_stream",
+    "relabel_nodes",
+]

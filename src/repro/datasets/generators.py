@@ -1,0 +1,232 @@
+"""Classic random-graph stream generators.
+
+The synthetic analogs in :mod:`repro.datasets.synthetic` imitate the paper's
+five evaluation datasets.  This module adds the standard generator families
+used throughout the graph-streaming literature, so ablation studies can vary
+the *structure* of the workload independently of its size:
+
+* :func:`erdos_renyi_stream` — uniform random edges, the no-skew baseline;
+* :func:`barabasi_albert_stream` — preferential attachment, the classic
+  heavy-tailed model (degree skew is what motivates square hashing);
+* :func:`rmat_stream` — recursive-matrix (Kronecker-style) generator used by
+  Graph500 and most graph-system papers; produces community structure and
+  skew on both endpoints;
+* :func:`bipartite_stream` — bipartite interactions (users x items), common in
+  recommendation and fraud-detection streams;
+* :func:`complete_graph_stream` — tiny exhaustive graphs for exact tests.
+
+Every generator returns a :class:`~repro.streaming.stream.GraphStream` with
+Zipfian weights and arrival-order timestamps, so it can be fed to GSS and to
+every baseline exactly like the dataset analogs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.datasets.zipf import ZipfSampler
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+
+
+def _stamped(edges: List[Tuple[str, str, float]], name: str) -> GraphStream:
+    """Wrap (source, destination, weight) triples with arrival timestamps."""
+    items = [
+        StreamEdge(source=source, destination=destination, weight=weight, timestamp=float(position))
+        for position, (source, destination, weight) in enumerate(edges)
+    ]
+    return GraphStream(items, name=name)
+
+
+def erdos_renyi_stream(
+    node_count: int,
+    edge_count: int,
+    name: str = "erdos-renyi",
+    seed: int = 41,
+    allow_duplicates: bool = False,
+) -> GraphStream:
+    """Uniformly random directed edges between ``node_count`` nodes.
+
+    With ``allow_duplicates=False`` the stream contains ``edge_count``
+    distinct edges (no repeated pairs), which makes it the natural workload
+    for buffer-occupancy studies: every item lands in a new bucket.
+    """
+    if node_count < 2:
+        raise ValueError("node_count must be at least 2")
+    if edge_count < 0:
+        raise ValueError("edge_count must be non-negative")
+    rng = random.Random(seed)
+    weights = ZipfSampler(1.5, 40, random.Random(seed + 1))
+    edges: List[Tuple[str, str, float]] = []
+    seen: set = set()
+    attempts = 0
+    max_attempts = edge_count * 100 + 100
+    while len(edges) < edge_count and attempts < max_attempts:
+        attempts += 1
+        source = rng.randrange(node_count)
+        destination = rng.randrange(node_count)
+        if source == destination:
+            continue
+        key = (source, destination)
+        if not allow_duplicates and key in seen:
+            continue
+        seen.add(key)
+        edges.append((f"n{source}", f"n{destination}", float(weights.sample())))
+    return _stamped(edges, name)
+
+
+def barabasi_albert_stream(
+    node_count: int,
+    edges_per_node: int = 3,
+    name: str = "barabasi-albert",
+    seed: int = 43,
+) -> GraphStream:
+    """Preferential-attachment stream: each new node links to popular nodes.
+
+    Node ``i`` (for ``i >= edges_per_node``) emits ``edges_per_node`` edges
+    whose targets are drawn proportionally to current in-degree, producing the
+    power-law in-degree distribution typical of citation and web graphs.
+    """
+    if node_count < 2:
+        raise ValueError("node_count must be at least 2")
+    if edges_per_node < 1:
+        raise ValueError("edges_per_node must be at least 1")
+    rng = random.Random(seed)
+    weights = ZipfSampler(1.5, 40, random.Random(seed + 1))
+    target_pool: List[int] = list(range(min(edges_per_node, node_count)))
+    edges: List[Tuple[str, str, float]] = []
+    for node in range(1, node_count):
+        seen_targets: set = set()
+        for _ in range(min(edges_per_node, node)):
+            if target_pool and rng.random() < 0.85:
+                target = target_pool[rng.randrange(len(target_pool))]
+            else:
+                target = rng.randrange(node)
+            if target == node or target in seen_targets:
+                continue
+            seen_targets.add(target)
+            target_pool.append(target)
+            edges.append((f"n{node}", f"n{target}", float(weights.sample())))
+    return _stamped(edges, name)
+
+
+def rmat_stream(
+    scale: int,
+    edge_count: int,
+    name: str = "rmat",
+    seed: int = 47,
+    probabilities: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+) -> GraphStream:
+    """Recursive-matrix (R-MAT) generator over ``2 ** scale`` nodes.
+
+    Each edge picks its (row, column) by recursively descending into one of
+    the four quadrants of the adjacency matrix with the given probabilities —
+    the Graph500 defaults produce skew and community structure on both
+    endpoints.  Duplicate edges are kept, as in real R-MAT streams.
+    """
+    if scale < 1:
+        raise ValueError("scale must be at least 1")
+    if edge_count < 0:
+        raise ValueError("edge_count must be non-negative")
+    if abs(sum(probabilities) - 1.0) > 1e-6:
+        raise ValueError("quadrant probabilities must sum to 1")
+    rng = random.Random(seed)
+    weights = ZipfSampler(1.5, 40, random.Random(seed + 1))
+    a, b, c, _ = probabilities
+    edges: List[Tuple[str, str, float]] = []
+    for _ in range(edge_count):
+        row = 0
+        column = 0
+        for level in range(scale):
+            draw = rng.random()
+            half = 1 << (scale - level - 1)
+            if draw < a:
+                pass
+            elif draw < a + b:
+                column += half
+            elif draw < a + b + c:
+                row += half
+            else:
+                row += half
+                column += half
+        if row == column:
+            continue
+        edges.append((f"n{row}", f"n{column}", float(weights.sample())))
+    return _stamped(edges, name)
+
+
+def bipartite_stream(
+    left_count: int,
+    right_count: int,
+    edge_count: int,
+    name: str = "bipartite",
+    seed: int = 53,
+    skew: float = 1.2,
+) -> GraphStream:
+    """Bipartite interaction stream: left nodes (users) point at right nodes (items).
+
+    Both sides have Zipfian popularity, mimicking user-activity and
+    item-popularity skew in recommendation / transaction streams.
+    """
+    if left_count < 1 or right_count < 1:
+        raise ValueError("both sides need at least one node")
+    if edge_count < 0:
+        raise ValueError("edge_count must be non-negative")
+    left_sampler = ZipfSampler(skew, left_count, random.Random(seed))
+    right_sampler = ZipfSampler(skew, right_count, random.Random(seed + 1))
+    weights = ZipfSampler(1.5, 20, random.Random(seed + 2))
+    edges: List[Tuple[str, str, float]] = []
+    for _ in range(edge_count):
+        user = left_sampler.sample() - 1
+        item = right_sampler.sample() - 1
+        edges.append((f"u{user}", f"i{item}", float(weights.sample())))
+    return _stamped(edges, name)
+
+
+def complete_graph_stream(
+    node_count: int,
+    name: str = "complete",
+    weight: float = 1.0,
+    include_self_loops: bool = False,
+) -> GraphStream:
+    """Every ordered pair of distinct nodes exactly once (tiny exact graphs).
+
+    Useful for exhaustive correctness tests: the ground truth is trivial and
+    the stream exercises every bucket-collision path when ``node_count`` is
+    larger than the matrix width.
+    """
+    if node_count < 1:
+        raise ValueError("node_count must be at least 1")
+    edges: List[Tuple[str, str, float]] = []
+    for source in range(node_count):
+        for destination in range(node_count):
+            if source == destination and not include_self_loops:
+                continue
+            edges.append((f"n{source}", f"n{destination}", weight))
+    return _stamped(edges, name)
+
+
+def star_stream(
+    leaf_count: int,
+    name: str = "star",
+    reversed_edges: bool = False,
+    seed: Optional[int] = None,
+) -> GraphStream:
+    """A hub connected to ``leaf_count`` leaves — the extreme-skew workload.
+
+    This is the worst case for the basic GSS (every edge shares the hub's row
+    or column); the square-hashing ablation uses it to show how spreading a
+    high-degree node over ``r`` rows removes the congestion.
+    """
+    if leaf_count < 1:
+        raise ValueError("leaf_count must be at least 1")
+    rng = random.Random(seed if seed is not None else 59)
+    weights = ZipfSampler(1.5, 20, rng)
+    edges: List[Tuple[str, str, float]] = []
+    for leaf in range(leaf_count):
+        if reversed_edges:
+            edges.append((f"leaf{leaf}", "hub", float(weights.sample())))
+        else:
+            edges.append(("hub", f"leaf{leaf}", float(weights.sample())))
+    return _stamped(edges, name)

@@ -1,0 +1,184 @@
+"""Stream perturbations for robustness and failure-injection tests.
+
+GSS must behave sensibly on streams that are messier than the clean analogs:
+bursts of duplicates, deletions (negative weights), adversarially skewed
+sources and re-orderings.  Each perturbation takes a
+:class:`~repro.streaming.stream.GraphStream` and returns a new one, leaving
+the input untouched, so test cases can compose them freely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+
+
+def inject_duplicates(
+    stream: GraphStream, duplication_factor: float, seed: int = 71
+) -> GraphStream:
+    """Replay a random subset of items so the stream has extra duplicates.
+
+    ``duplication_factor`` is the expected number of *extra* copies per item;
+    0.5 roughly multiplies the item count by 1.5.  Timestamps of the copies
+    follow the original item so arrival order stays realistic.
+    """
+    if duplication_factor < 0:
+        raise ValueError("duplication_factor must be non-negative")
+    rng = random.Random(seed)
+    items: List[StreamEdge] = []
+    for edge in stream:
+        items.append(edge)
+        copies = int(duplication_factor)
+        if rng.random() < (duplication_factor - copies):
+            copies += 1
+        for copy_index in range(copies):
+            items.append(
+                StreamEdge(
+                    source=edge.source,
+                    destination=edge.destination,
+                    weight=edge.weight,
+                    timestamp=edge.timestamp + (copy_index + 1) * 1e-3,
+                    label=edge.label,
+                )
+            )
+    return GraphStream(items, name=stream.name)
+
+
+def inject_deletions(
+    stream: GraphStream, deletion_fraction: float, seed: int = 73
+) -> GraphStream:
+    """Append deletion items (negative weights) for a fraction of the edges.
+
+    Each selected item gets a matching item with the opposite weight appended
+    at the end of the stream, exercising the streaming-graph semantics of
+    Definition 1 ("an item with w < 0 means deleting a former data item").
+    """
+    if not 0.0 <= deletion_fraction <= 1.0:
+        raise ValueError("deletion_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    items = list(stream)
+    deletions: List[StreamEdge] = []
+    last_timestamp = items[-1].timestamp if items else 0.0
+    for edge in items:
+        if rng.random() < deletion_fraction:
+            last_timestamp += 1.0
+            deletions.append(
+                StreamEdge(
+                    source=edge.source,
+                    destination=edge.destination,
+                    weight=-edge.weight,
+                    timestamp=last_timestamp,
+                    label=edge.label,
+                )
+            )
+    return GraphStream(items + deletions, name=stream.name)
+
+
+def shuffle_stream(stream: GraphStream, seed: int = 79) -> GraphStream:
+    """Randomly permute arrival order (timestamps are re-assigned in order)."""
+    rng = random.Random(seed)
+    items = list(stream)
+    rng.shuffle(items)
+    stamped = [
+        StreamEdge(
+            source=edge.source,
+            destination=edge.destination,
+            weight=edge.weight,
+            timestamp=float(position),
+            label=edge.label,
+        )
+        for position, edge in enumerate(items)
+    ]
+    return GraphStream(stamped, name=stream.name)
+
+
+def burst_stream(
+    stream: GraphStream, burst_edge_index: int = 0, burst_size: int = 100, seed: int = 83
+) -> GraphStream:
+    """Insert a burst of repetitions of one edge in the middle of the stream.
+
+    Models a sudden traffic spike (DDoS-like pattern in the network use case):
+    the ``burst_edge_index``-th distinct edge is replayed ``burst_size`` times
+    half-way through the stream.
+    """
+    if burst_size < 0:
+        raise ValueError("burst_size must be non-negative")
+    keys = stream.distinct_edge_keys()
+    if not keys:
+        return GraphStream([], name=stream.name)
+    source, destination = keys[burst_edge_index % len(keys)]
+    rng = random.Random(seed)
+    items = list(stream)
+    middle = len(items) // 2
+    base_timestamp = items[middle - 1].timestamp if middle > 0 else 0.0
+    burst = [
+        StreamEdge(
+            source=source,
+            destination=destination,
+            weight=float(rng.randint(1, 5)),
+            timestamp=base_timestamp + (position + 1) * 1e-3,
+        )
+        for position in range(burst_size)
+    ]
+    return GraphStream(items[:middle] + burst + items[middle:], name=stream.name)
+
+
+def adversarial_single_row_stream(
+    edge_count: int, hub: Hashable = "hub", name: str = "adversarial-row"
+) -> GraphStream:
+    """Every edge shares one source node — the worst case for a single row.
+
+    Without square hashing all these edges map to the same matrix row, so at
+    most ``width * rooms`` of them fit and the rest spill to the buffer; with
+    square hashing they spread over ``r`` rows.  The buffer ablation uses this
+    stream to demonstrate the difference at its most extreme.
+    """
+    if edge_count < 0:
+        raise ValueError("edge_count must be non-negative")
+    items = [
+        StreamEdge(source=hub, destination=f"d{index}", weight=1.0, timestamp=float(index))
+        for index in range(edge_count)
+    ]
+    return GraphStream(items, name=name)
+
+
+def relabel_nodes(
+    stream: GraphStream,
+    mapping: Optional[Dict[Hashable, Hashable]] = None,
+    prefix: str = "x",
+) -> GraphStream:
+    """Rename every node, either through ``mapping`` or with a fresh prefix.
+
+    Renaming must not change any structural property of the summarized graph;
+    the property-based tests use this to assert that GSS accuracy metrics are
+    invariant under node relabeling (up to hash randomness).
+    """
+    assigned: Dict[Hashable, Hashable] = dict(mapping) if mapping else {}
+
+    def rename(node: Hashable) -> Hashable:
+        if node not in assigned:
+            assigned[node] = f"{prefix}{len(assigned)}"
+        return assigned[node]
+
+    items = [
+        StreamEdge(
+            source=rename(edge.source),
+            destination=rename(edge.destination),
+            weight=edge.weight,
+            timestamp=edge.timestamp,
+            label=edge.label,
+        )
+        for edge in stream
+    ]
+    return GraphStream(items, name=stream.name)
+
+
+def apply_chain(stream: GraphStream, *perturbations: Callable[[GraphStream], GraphStream]) -> GraphStream:
+    """Apply several perturbations left to right and return the final stream."""
+    current = stream
+    for perturbation in perturbations:
+        current = perturbation(current)
+    return current

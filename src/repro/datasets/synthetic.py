@@ -1,0 +1,280 @@
+"""Synthetic graph-stream generators with power-law degree skew.
+
+Each generator produces a :class:`~repro.streaming.stream.GraphStream` whose
+shape mirrors one family of graphs from the paper's evaluation:
+
+* ``communication_stream`` — email / mailing-list / network-flow style
+  streams: heavy-tailed sender and receiver popularity, many repeated edges
+  with Zipfian multiplicity, timestamps in arrival order.
+* ``citation_stream`` — citation-graph style: nodes arrive over time and cite
+  mostly earlier, preferentially-attached nodes; few duplicate edges.
+* ``web_stream`` — web-graph style: strong hub structure on both in- and
+  out-degree, locally clustered links.
+* ``power_law_stream`` — the generic generator the three above parameterize.
+
+The accuracy of GSS and of the baselines depends on |V|, |E|, the degree skew
+and the duplicate-edge multiplicity, which these generators control directly;
+this is what makes them acceptable substitutes for the original datasets (see
+DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.zipf import ZipfSampler
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+
+
+@dataclass(frozen=True)
+class SyntheticGraphSpec:
+    """Parameters of a synthetic graph-stream generator.
+
+    ``node_count`` approximates |V|, ``edge_count`` the number of *distinct*
+    directed edges, ``duplication`` the average number of extra stream items
+    per distinct edge (so the stream has roughly
+    ``edge_count * (1 + duplication)`` items), and ``skew`` the Zipf exponent
+    of node popularity.
+    """
+
+    name: str
+    node_count: int
+    edge_count: int
+    duplication: float = 0.5
+    skew: float = 1.1
+    weight_exponent: float = 1.5
+    weight_support: int = 50
+    seed: int = 7
+
+
+def _popular_node(sampler: ZipfSampler, permutation: List[int]) -> int:
+    """Draw a node index with Zipfian popularity under a fixed permutation."""
+    return permutation[sampler.sample() - 1]
+
+
+def power_law_stream(spec: SyntheticGraphSpec) -> GraphStream:
+    """Generate a stream whose in/out-degree distributions are heavy tailed.
+
+    Distinct edges are drawn by sampling both endpoints from independent
+    Zipfian popularity rankings (rejecting self loops and duplicates), then the
+    stream is built by replaying each distinct edge ``1 + extra`` times where
+    ``extra`` follows a Zipf distribution capped by ``duplication``.
+    """
+    rng = random.Random(spec.seed)
+    node_ids = [f"n{i}" for i in range(spec.node_count)]
+
+    out_permutation = list(range(spec.node_count))
+    in_permutation = list(range(spec.node_count))
+    rng.shuffle(out_permutation)
+    rng.shuffle(in_permutation)
+
+    out_sampler = ZipfSampler(spec.skew, spec.node_count, random.Random(spec.seed + 1))
+    in_sampler = ZipfSampler(spec.skew, spec.node_count, random.Random(spec.seed + 2))
+    weight_sampler = ZipfSampler(
+        spec.weight_exponent, spec.weight_support, random.Random(spec.seed + 3)
+    )
+
+    distinct: set = set()
+    distinct_order: List[tuple] = []
+    attempts = 0
+    max_attempts = spec.edge_count * 50
+    while len(distinct) < spec.edge_count and attempts < max_attempts:
+        attempts += 1
+        source_index = _popular_node(out_sampler, out_permutation)
+        destination_index = _popular_node(in_sampler, in_permutation)
+        if source_index == destination_index:
+            continue
+        key = (source_index, destination_index)
+        if key in distinct:
+            continue
+        distinct.add(key)
+        distinct_order.append(key)
+
+    items: List[StreamEdge] = []
+    for key in distinct_order:
+        source = node_ids[key[0]]
+        destination = node_ids[key[1]]
+        repeats = 1
+        if spec.duplication > 0:
+            extra = weight_sampler.sample() - 1
+            repeats += min(extra, max(1, int(spec.duplication * 4)))
+        for _ in range(repeats):
+            items.append(
+                StreamEdge(
+                    source=source,
+                    destination=destination,
+                    weight=float(weight_sampler.sample()),
+                    timestamp=0.0,
+                )
+            )
+
+    rng.shuffle(items)
+    stamped = [
+        StreamEdge(
+            source=item.source,
+            destination=item.destination,
+            weight=item.weight,
+            timestamp=float(position),
+            label=item.label,
+        )
+        for position, item in enumerate(items)
+    ]
+    return GraphStream(stamped, name=spec.name)
+
+
+def communication_stream(
+    node_count: int,
+    edge_count: int,
+    name: str = "communication",
+    seed: int = 11,
+    duplication: float = 1.5,
+) -> GraphStream:
+    """Email / mailing-list / flow-trace analog: highly skewed, many repeats."""
+    spec = SyntheticGraphSpec(
+        name=name,
+        node_count=node_count,
+        edge_count=edge_count,
+        duplication=duplication,
+        skew=1.2,
+        weight_exponent=1.4,
+        seed=seed,
+    )
+    return power_law_stream(spec)
+
+
+def citation_stream(
+    node_count: int,
+    edge_count: int,
+    name: str = "citation",
+    seed: int = 13,
+) -> GraphStream:
+    """Citation-graph analog: nodes cite earlier nodes, few duplicate edges.
+
+    A simple preferential-attachment process: node ``i`` emits a batch of
+    citations to earlier nodes, preferring nodes that already gathered many
+    citations.  Produces a dense core of highly cited papers like cit-HepPh.
+    """
+    rng = random.Random(seed)
+    node_ids = [f"p{i}" for i in range(node_count)]
+    citations_per_node = max(1, edge_count // max(1, node_count))
+    in_degree_pool: List[int] = []
+    edges: List[StreamEdge] = []
+    seen: set = set()
+    weight_sampler = ZipfSampler(1.5, 30, random.Random(seed + 1))
+
+    for index in range(1, node_count):
+        batch = citations_per_node
+        for _ in range(batch):
+            if len(edges) >= edge_count:
+                break
+            if in_degree_pool and rng.random() < 0.7:
+                target_index = in_degree_pool[rng.randrange(len(in_degree_pool))]
+            else:
+                target_index = rng.randrange(index)
+            key = (index, target_index)
+            if key in seen or target_index == index:
+                continue
+            seen.add(key)
+            in_degree_pool.append(target_index)
+            edges.append(
+                StreamEdge(
+                    source=node_ids[index],
+                    destination=node_ids[target_index],
+                    weight=float(weight_sampler.sample()),
+                    timestamp=float(len(edges)),
+                )
+            )
+        if len(edges) >= edge_count:
+            break
+    return GraphStream(edges, name=name)
+
+
+def web_stream(
+    node_count: int,
+    edge_count: int,
+    name: str = "web",
+    seed: int = 17,
+) -> GraphStream:
+    """Web-graph analog: hub-and-authority structure with local clustering."""
+    spec = SyntheticGraphSpec(
+        name=name,
+        node_count=node_count,
+        edge_count=edge_count,
+        duplication=0.2,
+        skew=1.3,
+        weight_exponent=1.6,
+        seed=seed,
+    )
+    return power_law_stream(spec)
+
+
+def labeled_stream(stream: GraphStream, label_count: int = 8, seed: int = 23) -> GraphStream:
+    """Attach categorical labels to a stream's edges.
+
+    The subgraph-matching experiment labels edges by port/protocol; we mimic
+    that by assigning one of ``label_count`` labels per distinct edge.
+    """
+    rng = random.Random(seed)
+    label_of: dict = {}
+    labeled: List[StreamEdge] = []
+    for edge in stream:
+        if edge.key not in label_of:
+            label_of[edge.key] = f"L{rng.randrange(label_count)}"
+        labeled.append(
+            StreamEdge(
+                source=edge.source,
+                destination=edge.destination,
+                weight=edge.weight,
+                timestamp=edge.timestamp,
+                label=label_of[edge.key],
+            )
+        )
+    return GraphStream(labeled, name=stream.name)
+
+
+def unreachable_pairs(
+    stream: GraphStream, count: int, seed: int = 31, max_attempts: Optional[int] = None
+) -> List[tuple]:
+    """Sample node pairs (s, d) such that d is NOT reachable from s.
+
+    Used to build the reachability query sets of Figure 12, which contain only
+    unreachable pairs so that true-negative recall is well defined.
+    """
+    from collections import deque
+
+    successors = stream.successors()
+    nodes = stream.nodes()
+    rng = random.Random(seed)
+    pairs: List[tuple] = []
+    attempts = 0
+    limit = max_attempts if max_attempts is not None else count * 200
+
+    reachable_cache: dict = {}
+
+    def reachable_from(source) -> set:
+        if source in reachable_cache:
+            return reachable_cache[source]
+        visited = {source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in successors.get(current, ()):  # pragma: no branch
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    queue.append(neighbor)
+        reachable_cache[source] = visited
+        return visited
+
+    while len(pairs) < count and attempts < limit:
+        attempts += 1
+        source = nodes[rng.randrange(len(nodes))]
+        destination = nodes[rng.randrange(len(nodes))]
+        if source == destination:
+            continue
+        if destination in reachable_from(source):
+            continue
+        pairs.append((source, destination))
+    return pairs

@@ -1,0 +1,12 @@
+"""Exact streaming-graph stores.
+
+These provide ground truth for every experiment and reproduce the paper's
+baselines that are not sketches: the adjacency list (Table I update-speed
+baseline) and the adjacency matrix (the representation TCM builds its sketch
+on, included here in exact form for small graphs and for testing).
+"""
+
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.exact.adjacency_matrix import AdjacencyMatrixGraph
+
+__all__ = ["AdjacencyListGraph", "AdjacencyMatrixGraph"]

@@ -1,0 +1,78 @@
+"""Exact adjacency-matrix store with a dense node index.
+
+Included for completeness and testing: the paper's Section III points out that
+an adjacency matrix costs O(|V|^2) memory, which is why sketches are needed.
+This implementation keeps a dict-of-dict matrix keyed by dense node indices so
+small graphs can still be materialized and compared against the list store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set
+
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+
+class AdjacencyMatrixGraph:
+    """Exact matrix-style store: row = source, column = destination."""
+
+    def __init__(self) -> None:
+        self._index_of: Dict[Hashable, int] = {}
+        self._node_of: List[Hashable] = []
+        self._rows: Dict[int, Dict[int, float]] = {}
+
+    def _intern(self, node: Hashable) -> int:
+        """Return (creating if needed) the dense index of ``node``."""
+        index = self._index_of.get(node)
+        if index is None:
+            index = len(self._node_of)
+            self._index_of[node] = index
+            self._node_of.append(node)
+        return index
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Add ``weight`` to cell (source, destination)."""
+        row = self._rows.setdefault(self._intern(source), {})
+        column = self._intern(destination)
+        new_weight = row.get(column, 0.0) + weight
+        if new_weight == 0.0 and column in row:
+            del row[column]
+        else:
+            row[column] = new_weight
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+        """Exact edge weight, or ``EDGE_NOT_FOUND`` when absent."""
+        source_index = self._index_of.get(source)
+        destination_index = self._index_of.get(destination)
+        if source_index is None or destination_index is None:
+            return EDGE_NOT_FOUND
+        weight = self._rows.get(source_index, {}).get(destination_index)
+        return EDGE_NOT_FOUND if weight is None else weight
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Exact 1-hop successors of ``node``."""
+        index = self._index_of.get(node)
+        if index is None:
+            return set()
+        return {self._node_of[column] for column in self._rows.get(index, {})}
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Exact 1-hop precursors of ``node`` (column scan)."""
+        index = self._index_of.get(node)
+        if index is None:
+            return set()
+        result: Set[Hashable] = set()
+        for row_index, columns in self._rows.items():
+            if index in columns:
+                result.add(self._node_of[row_index])
+        return result
+
+    @property
+    def node_count(self) -> int:
+        """Number of interned nodes."""
+        return len(self._node_of)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of non-zero cells."""
+        return sum(len(columns) for columns in self._rows.values())

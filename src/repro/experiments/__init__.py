@@ -1,0 +1,61 @@
+"""Experiment harness: one runner per table and figure of the paper.
+
+Every runner takes an :class:`~repro.experiments.config.ExperimentConfig`
+(whose defaults are sized so a full run finishes on a laptop in pure Python)
+and returns an :class:`~repro.experiments.report.ExperimentResult` holding the
+result rows plus a plain-text table identical in structure to the paper's
+artifact.  ``python -m repro <experiment>`` prints those tables from the
+command line; the pytest-benchmark modules under ``benchmarks/`` call the same
+runners.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentResult, format_table
+from repro.experiments.theory import run_figure3
+from repro.experiments.edge_query import run_edge_query_experiment
+from repro.experiments.successor_precursor import (
+    run_precursor_experiment,
+    run_successor_experiment,
+)
+from repro.experiments.node_query import run_node_query_experiment
+from repro.experiments.reachability import run_reachability_experiment
+from repro.experiments.buffer_size import run_buffer_experiment
+from repro.experiments.update_speed import run_update_speed_experiment
+from repro.experiments.triangle import run_triangle_experiment
+from repro.experiments.subgraph import run_subgraph_experiment
+from repro.experiments.ablation import (
+    run_candidate_ablation,
+    run_fingerprint_ablation,
+    run_rooms_ablation,
+    run_sequence_length_ablation,
+)
+from repro.experiments.window import run_window_experiment
+from repro.experiments.partition import run_partition_experiment
+from repro.experiments.heavy_change import run_heavy_changer_experiment
+from repro.experiments.algorithms import run_algorithm_agreement_experiment
+from repro.experiments.memory_comparison import run_memory_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "format_table",
+    "run_figure3",
+    "run_edge_query_experiment",
+    "run_successor_experiment",
+    "run_precursor_experiment",
+    "run_node_query_experiment",
+    "run_reachability_experiment",
+    "run_buffer_experiment",
+    "run_update_speed_experiment",
+    "run_triangle_experiment",
+    "run_subgraph_experiment",
+    "run_fingerprint_ablation",
+    "run_sequence_length_ablation",
+    "run_candidate_ablation",
+    "run_rooms_ablation",
+    "run_window_experiment",
+    "run_partition_experiment",
+    "run_heavy_changer_experiment",
+    "run_algorithm_agreement_experiment",
+    "run_memory_experiment",
+]

@@ -1,0 +1,171 @@
+"""Ablation sweeps over GSS design parameters.
+
+DESIGN.md calls out the design choices worth ablating beyond the paper's own
+Figure 13 / Table I ablations: fingerprint length, address-sequence length
+``r``, number of sampled candidate buckets ``k`` and rooms per bucket.  Each
+sweep reports the accuracy/buffer trade-off so the effect of every knob is
+visible in one table.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import ExperimentConfig, load_streams
+from repro.experiments.report import ExperimentResult
+from repro.metrics.accuracy import average_precision, average_relative_error
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+
+def _score(sketch, stream, truth, successor_truth, nodes, edges):
+    """Edge ARE, successor precision and buffer share of one sketch."""
+    pairs = []
+    for key in edges:
+        estimate = sketch.edge_query(*key)
+        if estimate == EDGE_NOT_FOUND:
+            estimate = 0.0
+        pairs.append((estimate, truth[key]))
+    precision_pairs = [
+        (successor_truth.get(node, set()), sketch.successor_query(node)) for node in nodes
+    ]
+    return {
+        "edge_are": average_relative_error(pairs),
+        "successor_precision": average_precision(precision_pairs),
+        "buffer_pct": sketch.buffer_percentage,
+    }
+
+
+def run_fingerprint_ablation(
+    config: ExperimentConfig = None, fingerprint_bits: Sequence[int] = (4, 8, 12, 16)
+) -> ExperimentResult:
+    """Sweep the fingerprint length: accuracy grows with the hash range M = m*F."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment="ablation-fingerprint",
+        description="accuracy vs fingerprint length (everything else fixed)",
+        columns=["dataset", "fingerprint_bits", "edge_are", "successor_precision", "buffer_pct"],
+    )
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        width = config.recommended_width(statistics)
+        truth = stream.aggregate_weights()
+        successor_truth = stream.successors()
+        edges = config.sample_items(list(truth))
+        nodes = config.sample_items(stream.nodes())
+        for bits in fingerprint_bits:
+            sketch = config.build_gss(width, bits)
+            sketch.ingest(stream)
+            result.add(
+                dataset=name,
+                fingerprint_bits=bits,
+                **_score(sketch, stream, truth, successor_truth, nodes, edges),
+            )
+    return result
+
+
+def run_sequence_length_ablation(
+    config: ExperimentConfig = None, sequence_lengths: Sequence[int] = (1, 2, 4, 8, 16)
+) -> ExperimentResult:
+    """Sweep ``r``: longer address sequences shrink the buffer (square hashing)."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment="ablation-sequence-length",
+        description="buffer share vs address-sequence length r",
+        columns=["dataset", "sequence_length", "edge_are", "successor_precision", "buffer_pct"],
+    )
+    bits = max(config.fingerprint_bits)
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        width = config.recommended_width(statistics)
+        truth = stream.aggregate_weights()
+        successor_truth = stream.successors()
+        edges = config.sample_items(list(truth))
+        nodes = config.sample_items(stream.nodes())
+        for length in sequence_lengths:
+            sweep_config = ExperimentConfig(
+                datasets=config.datasets,
+                dataset_scale=config.dataset_scale,
+                fingerprint_bits=config.fingerprint_bits,
+                sequence_length=length,
+                candidate_buckets=min(config.candidate_buckets, length * length),
+                rooms=config.rooms,
+                seed=config.seed,
+            )
+            sketch = sweep_config.build_gss(width, bits)
+            sketch.ingest(stream)
+            result.add(
+                dataset=name,
+                sequence_length=length,
+                **_score(sketch, stream, truth, successor_truth, nodes, edges),
+            )
+    return result
+
+
+def run_candidate_ablation(
+    config: ExperimentConfig = None, candidate_counts: Sequence[int] = (1, 2, 4, 8, 16)
+) -> ExperimentResult:
+    """Sweep ``k``: more probed candidates reduce the buffer at higher update cost."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment="ablation-candidates",
+        description="buffer share vs sampled candidate buckets k",
+        columns=["dataset", "candidate_buckets", "edge_are", "successor_precision", "buffer_pct"],
+    )
+    bits = max(config.fingerprint_bits)
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        width = config.recommended_width(statistics)
+        truth = stream.aggregate_weights()
+        successor_truth = stream.successors()
+        edges = config.sample_items(list(truth))
+        nodes = config.sample_items(stream.nodes())
+        for candidates in candidate_counts:
+            sweep_config = ExperimentConfig(
+                datasets=config.datasets,
+                dataset_scale=config.dataset_scale,
+                fingerprint_bits=config.fingerprint_bits,
+                sequence_length=config.sequence_length,
+                candidate_buckets=candidates,
+                rooms=config.rooms,
+                seed=config.seed,
+            )
+            sketch = sweep_config.build_gss(width, bits)
+            sketch.ingest(stream)
+            result.add(
+                dataset=name,
+                candidate_buckets=candidates,
+                **_score(sketch, stream, truth, successor_truth, nodes, edges),
+            )
+    return result
+
+
+def run_rooms_ablation(
+    config: ExperimentConfig = None, room_counts: Sequence[int] = (1, 2, 3, 4)
+) -> ExperimentResult:
+    """Sweep ``l`` at constant memory: more rooms per bucket vs a wider matrix."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment="ablation-rooms",
+        description="buffer share vs rooms per bucket at constant memory",
+        columns=["dataset", "rooms", "width", "edge_are", "successor_precision", "buffer_pct"],
+    )
+    bits = max(config.fingerprint_bits)
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        base_width = config.recommended_width(statistics)
+        base_capacity = base_width * base_width * config.rooms
+        truth = stream.aggregate_weights()
+        successor_truth = stream.successors()
+        edges = config.sample_items(list(truth))
+        nodes = config.sample_items(stream.nodes())
+        for rooms in room_counts:
+            width = max(4, int((base_capacity / rooms) ** 0.5))
+            sketch = config.build_gss(width, bits, rooms=rooms)
+            sketch.ingest(stream)
+            result.add(
+                dataset=name,
+                rooms=rooms,
+                width=width,
+                **_score(sketch, stream, truth, successor_truth, nodes, edges),
+            )
+    return result

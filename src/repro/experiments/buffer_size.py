@@ -1,0 +1,56 @@
+"""Figure 13 — buffer percentage under the four GSS configurations.
+
+The four curves of the paper's figure are reproduced as four configurations:
+rooms ∈ {1, 2} crossed with square hashing on/off.  As in the paper, the
+memory is held constant across room counts: the one-room variants use a matrix
+``sqrt(2)`` times wider so that the number of rooms (and therefore bytes) is
+unchanged.  The reported metric is the fraction of distinct sketch edges that
+had to be stored in the left-over buffer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, load_streams
+from repro.experiments.report import ExperimentResult
+from repro.metrics.accuracy import buffer_percentage
+
+
+_CONFIGURATIONS = (
+    ("Room=1", 1, True),
+    ("Room=2", 2, True),
+    ("Room=1(NoSquareHash)", 1, False),
+    ("Room=2(NoSquareHash)", 2, False),
+)
+
+
+def run_buffer_experiment(config: ExperimentConfig = None) -> ExperimentResult:
+    """Reproduce Figure 13: buffer percentage vs width for the four variants."""
+    config = config or ExperimentConfig()
+    fingerprint_bits = max(config.fingerprint_bits)
+    result = ExperimentResult(
+        experiment="fig13",
+        description="buffer percentage vs matrix width (rooms x square hashing)",
+        columns=["dataset", "width", "configuration", "buffer_pct", "buffered_edges"],
+    )
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        for width in config.widths_for(statistics):
+            for label, rooms, square in _CONFIGURATIONS:
+                # Hold memory constant: one-room variants get a wider matrix.
+                effective_width = width if rooms == config.rooms else int(width * (config.rooms / rooms) ** 0.5)
+                sketch = config.build_gss(
+                    effective_width,
+                    fingerprint_bits,
+                    rooms=rooms,
+                    square_hashing=square,
+                )
+                sketch.ingest(stream)
+                stored = sketch.matrix_edge_count + sketch.buffer_edge_count
+                result.add(
+                    dataset=name,
+                    width=width,
+                    configuration=label,
+                    buffer_pct=buffer_percentage(sketch.buffer_edge_count, stored),
+                    buffered_edges=sketch.buffer_edge_count,
+                )
+    return result

@@ -1,0 +1,62 @@
+"""Figure 8 — average relative error of edge queries vs matrix width.
+
+For every dataset analog and matrix width the runner builds GSS sketches with
+12- and 16-bit fingerprints plus a TCM baseline granted 8x the GSS memory
+(the paper's handicap), issues the edge-query set (all distinct edges, or a
+deterministic sample when ``query_sample`` is set) and reports the ARE.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, load_streams
+from repro.experiments.report import ExperimentResult
+from repro.metrics.accuracy import average_relative_error
+from repro.queries.primitives import EDGE_NOT_FOUND
+
+
+def _edge_query_are(store, query_edges, truth) -> float:
+    pairs = []
+    for key in query_edges:
+        estimate = store.edge_query(key[0], key[1])
+        if estimate == EDGE_NOT_FOUND:
+            estimate = 0.0
+        pairs.append((estimate, truth[key]))
+    return average_relative_error(pairs)
+
+
+def run_edge_query_experiment(config: ExperimentConfig = None) -> ExperimentResult:
+    """Reproduce Figure 8 (edge-query ARE for GSS fsize 12/16 and TCM 8x)."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment="fig8",
+        description="edge query ARE vs matrix width (TCM granted 8x memory)",
+        columns=["dataset", "width", "structure", "are", "buffer_pct"],
+    )
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        truth = stream.aggregate_weights()
+        query_edges = config.sample_items(list(truth))
+        for width in config.widths_for(statistics):
+            reference = None
+            for bits in config.fingerprint_bits:
+                sketch = config.build_gss(width, bits)
+                sketch.ingest(stream)
+                if bits == max(config.fingerprint_bits):
+                    reference = sketch
+                result.add(
+                    dataset=name,
+                    width=width,
+                    structure=f"GSS(fsize={bits})",
+                    are=_edge_query_are(sketch, query_edges, truth),
+                    buffer_pct=sketch.buffer_percentage,
+                )
+            tcm = config.build_tcm(reference, config.tcm_edge_memory_ratio)
+            tcm.ingest(stream)
+            result.add(
+                dataset=name,
+                width=width,
+                structure=f"TCM({int(config.tcm_edge_memory_ratio)}x memory)",
+                are=_edge_query_are(tcm, query_edges, truth),
+                buffer_pct=0.0,
+            )
+    return result

@@ -1,0 +1,102 @@
+"""Extension experiment — heavy-changer detection across epochs.
+
+gMatrix motivates graph sketches with heavy-hitter / heavy-changer detection;
+GSS supports the same analysis through the edge-query primitive.  The
+experiment splits each stream into two epochs, injects a synthetic burst on a
+handful of edges in the second epoch (the "attack"), builds one GSS per epoch
+and asks for the top-``k`` changers.  It reports:
+
+* recall of the injected burst edges among the sketch's top-``k``;
+* precision of the sketch's top-``k`` against the exact top-``k``;
+* the same two numbers for a pair of exact adjacency lists, as the reference.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.experiments.config import ExperimentConfig, load_streams
+from repro.experiments.report import ExperimentResult
+from repro.queries.heavy_changers import top_k_changers
+from repro.queries.primitives import consume_stream
+
+
+def _inject_burst(epoch_edges, burst_keys, repetitions: int, weight: float):
+    """Extra items replaying each burst edge ``repetitions`` times."""
+    from repro.streaming.edge import StreamEdge
+
+    extra = []
+    base = len(epoch_edges)
+    for position, (source, destination) in enumerate(burst_keys):
+        for repeat in range(repetitions):
+            extra.append(
+                StreamEdge(
+                    source=source,
+                    destination=destination,
+                    weight=weight,
+                    timestamp=float(base + position * repetitions + repeat),
+                )
+            )
+    return extra
+
+
+def run_heavy_changer_experiment(config: ExperimentConfig = None) -> ExperimentResult:
+    """Heavy-changer detection: GSS epochs vs exact epochs."""
+    config = config or ExperimentConfig()
+    fingerprint_bits = max(config.fingerprint_bits)
+    top_k = config.extras.get("changer_top_k", 10)
+    burst_count = config.extras.get("burst_edges", 5)
+    repetitions = config.extras.get("burst_repetitions", 30)
+    result = ExperimentResult(
+        experiment="changers",
+        description="top-k heavy-changer detection across two epochs",
+        columns=["dataset", "structure", "top_k", "burst_recall", "exact_top_k_precision"],
+    )
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        half = len(stream) // 2
+        first_epoch = list(stream[:half])
+        second_epoch = list(stream[half:])
+        rng = random.Random(config.seed)
+        keys = stream.distinct_edge_keys()
+        burst_keys: List[Tuple] = rng.sample(keys, min(burst_count, len(keys)))
+        second_epoch = second_epoch + _inject_burst(second_epoch, burst_keys, repetitions, 5.0)
+
+        candidates = config.sample_items(keys, limit=max(400, len(burst_keys) * 20))
+        for key in burst_keys:
+            if key not in candidates:
+                candidates.append(key)
+
+        exact_before = consume_stream(AdjacencyListGraph(), first_epoch)
+        exact_after = consume_stream(AdjacencyListGraph(), second_epoch)
+        exact_top = top_k_changers(exact_before, exact_after, candidates, top_k)
+        exact_top_keys = {edge for edge, _ in exact_top}
+
+        structures = {
+            "Exact adjacency lists": (exact_before, exact_after),
+        }
+        gss_before = config.build_gss(config.recommended_width(statistics), fingerprint_bits)
+        gss_after = config.build_gss(config.recommended_width(statistics), fingerprint_bits)
+        consume_stream(gss_before, first_epoch)
+        consume_stream(gss_after, second_epoch)
+        structures[f"GSS(fsize={fingerprint_bits})"] = (gss_before, gss_after)
+
+        for label, (before, after) in structures.items():
+            top = top_k_changers(before, after, candidates, top_k)
+            top_keys = {edge for edge, _ in top}
+            burst_recall = (
+                len(top_keys & set(burst_keys)) / len(burst_keys) if burst_keys else 1.0
+            )
+            precision = (
+                len(top_keys & exact_top_keys) / len(top_keys) if top_keys else 1.0
+            )
+            result.add(
+                dataset=name,
+                structure=label,
+                top_k=top_k,
+                burst_recall=burst_recall,
+                exact_top_k_precision=precision,
+            )
+    return result

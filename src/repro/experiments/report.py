@@ -1,0 +1,71 @@
+"""Result container and plain-text table formatting for experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render result rows as an aligned plain-text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Floats are shown with 4 significant decimals.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in table))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in table
+    ]
+    return "\n".join([header, separator, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment runner, plus its identity."""
+
+    experiment: str
+    description: str
+    rows: List[Dict] = field(default_factory=list)
+    columns: Optional[List[str]] = None
+
+    def add(self, **row) -> None:
+        """Append one result row."""
+        self.rows.append(row)
+
+    def filter(self, **criteria) -> List[Dict]:
+        """Rows matching every keyword criterion exactly."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def column(self, name: str, **criteria) -> List:
+        """Values of one column, optionally filtered."""
+        return [row[name] for row in self.filter(**criteria) if name in row]
+
+    def to_text(self) -> str:
+        """Human-readable report: header line plus the aligned table."""
+        header = f"== {self.experiment}: {self.description} =="
+        return header + "\n" + format_table(self.rows, self.columns)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

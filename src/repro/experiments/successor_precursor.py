@@ -1,0 +1,74 @@
+"""Figures 9 and 10 — average precision of 1-hop precursor / successor queries.
+
+The query set contains every node (or a deterministic sample), the true
+neighbour sets come from the exact aggregation of the stream, and precision is
+``|SS| / |SS_hat|`` because GSS and TCM only produce false positives.  TCM is
+granted the paper's large memory handicap (256x by default at paper scale).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Set
+
+from repro.experiments.config import ExperimentConfig, load_streams
+from repro.experiments.report import ExperimentResult
+from repro.metrics.accuracy import average_precision
+
+
+def _precision_of(
+    query: Callable[[Hashable], Set[Hashable]],
+    truth: Dict[Hashable, Set[Hashable]],
+    nodes,
+) -> float:
+    pairs = []
+    for node in nodes:
+        pairs.append((truth.get(node, set()), query(node)))
+    return average_precision(pairs)
+
+
+def _run_direction(config: ExperimentConfig, forward: bool) -> ExperimentResult:
+    direction = "successor" if forward else "precursor"
+    figure = "fig10" if forward else "fig9"
+    result = ExperimentResult(
+        experiment=figure,
+        description=f"average precision of 1-hop {direction} queries vs matrix width",
+        columns=["dataset", "width", "structure", "precision"],
+    )
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        truth = stream.successors() if forward else stream.precursors()
+        nodes = config.sample_items(stream.nodes())
+        for width in config.widths_for(statistics):
+            reference = None
+            for bits in config.fingerprint_bits:
+                sketch = config.build_gss(width, bits)
+                sketch.ingest(stream)
+                if bits == max(config.fingerprint_bits):
+                    reference = sketch
+                query = sketch.successor_query if forward else sketch.precursor_query
+                result.add(
+                    dataset=name,
+                    width=width,
+                    structure=f"GSS(fsize={bits})",
+                    precision=_precision_of(query, truth, nodes),
+                )
+            tcm = config.build_tcm(reference, config.tcm_topology_memory_ratio)
+            tcm.ingest(stream)
+            tcm_query = tcm.successor_query if forward else tcm.precursor_query
+            result.add(
+                dataset=name,
+                width=width,
+                structure=f"TCM({int(config.tcm_topology_memory_ratio)}x memory)",
+                precision=_precision_of(tcm_query, truth, nodes),
+            )
+    return result
+
+
+def run_successor_experiment(config: ExperimentConfig = None) -> ExperimentResult:
+    """Reproduce Figure 10 (1-hop successor precision)."""
+    return _run_direction(config or ExperimentConfig(), forward=True)
+
+
+def run_precursor_experiment(config: ExperimentConfig = None) -> ExperimentResult:
+    """Reproduce Figure 9 (1-hop precursor precision)."""
+    return _run_direction(config or ExperimentConfig(), forward=False)

@@ -1,0 +1,37 @@
+"""Figure 3 — theoretical influence of ``M`` on the primitives' accuracy."""
+
+from __future__ import annotations
+
+from repro.analysis.figure3 import figure3_series
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentResult
+
+
+def run_figure3(config: ExperimentConfig = None) -> ExperimentResult:
+    """Recompute the three panels of Figure 3 from the Section VI analysis.
+
+    The rows contain, for every ``M / |V|`` ratio and degree, the theoretical
+    correct rate of the edge query and of the 1-hop successor / precursor
+    queries.  The qualitative claim the paper draws from the figure — that the
+    successor accuracy only exceeds 80% once ``M/|V|`` is in the hundreds — is
+    directly visible in the rows and asserted by the benchmark.
+    """
+    config = config or ExperimentConfig()
+    node_count = config.extras.get("figure3_nodes", 100_000)
+    average_degree = config.extras.get("figure3_average_degree", 5.0)
+    series = figure3_series(node_count=node_count, average_degree=average_degree)
+
+    result = ExperimentResult(
+        experiment="fig3",
+        description="theoretical correct rate of the query primitives vs M/|V|",
+        columns=["panel", "ratio", "degree", "correct_rate"],
+    )
+    for panel in ("edge_query", "successor_query", "precursor_query"):
+        for point in series[panel]:
+            result.add(
+                panel=panel,
+                ratio=point.ratio,
+                degree=point.degree,
+                correct_rate=point.correct_rate,
+            )
+    return result

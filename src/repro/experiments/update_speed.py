@@ -1,0 +1,63 @@
+"""Table I — update speed of GSS, GSS without sampling, TCM and adjacency lists.
+
+The paper reports million insertions per second (Mips) of a C++
+implementation.  In pure Python the absolute throughput is orders of
+magnitude lower (the calibration note for this reproduction flags exactly
+that), so the table here reports edges/second *and* the speed of every
+structure relative to TCM, which is the comparison the paper actually draws
+("the speed of GSS is similar to TCM ... both much higher than the adjacency
+list").
+"""
+
+from __future__ import annotations
+
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.experiments.config import ExperimentConfig, load_streams
+from repro.experiments.report import ExperimentResult
+from repro.metrics.throughput import measure_update_throughput
+
+
+def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentResult:
+    """Reproduce Table I: relative update throughput of the four structures."""
+    config = config or ExperimentConfig()
+    repeats = config.extras.get("speed_repeats", 1)
+    fingerprint_bits = max(config.fingerprint_bits)
+    result = ExperimentResult(
+        experiment="tab1",
+        description="update speed (edges/s and relative to TCM)",
+        columns=["dataset", "structure", "edges_per_second", "mips", "relative_to_tcm"],
+    )
+    for name, stream in load_streams(config):
+        statistics = stream.statistics()
+        width = config.recommended_width(statistics)
+        edges = list(stream)
+
+        def make_gss(sampling: bool = True):
+            return config.build_gss(width, fingerprint_bits, sampling=sampling)
+
+        reference = make_gss()
+        measurements = {
+            "GSS": measure_update_throughput(make_gss, edges, label="GSS", repeats=repeats),
+            "GSS(no sampling)": measure_update_throughput(
+                lambda: make_gss(sampling=False), edges, label="GSS(no sampling)", repeats=repeats
+            ),
+            "TCM": measure_update_throughput(
+                lambda: config.build_tcm(reference, config.tcm_edge_memory_ratio),
+                edges,
+                label="TCM",
+                repeats=repeats,
+            ),
+            "Adjacency Lists": measure_update_throughput(
+                AdjacencyListGraph, edges, label="Adjacency Lists", repeats=repeats
+            ),
+        }
+        tcm_rate = measurements["TCM"].items_per_second
+        for label, measurement in measurements.items():
+            result.add(
+                dataset=name,
+                structure=label,
+                edges_per_second=measurement.items_per_second,
+                mips=measurement.mips,
+                relative_to_tcm=measurement.items_per_second / tcm_rate if tcm_rate else 0.0,
+            )
+    return result

@@ -1,0 +1,37 @@
+"""Hashing substrate used throughout the GSS reproduction.
+
+The paper relies on three hashing building blocks:
+
+* a node hash ``H(v)`` with a configurable value range ``[0, M)`` where
+  ``M = m * F`` (matrix width times fingerprint range);
+* the address/fingerprint split ``h(v) = H(v) // F`` and ``f(v) = H(v) % F``;
+* linear-congruential (LR) sequences used by *square hashing* to derive ``r``
+  alternative row/column addresses per node and the ``k`` candidate buckets
+  sampled per edge (Section V, Equations 1-5).
+
+Everything here is deterministic given a seed so experiments are repeatable.
+"""
+
+from repro.hashing.hash_functions import (
+    NodeHasher,
+    fingerprint_of,
+    hash_string,
+    split_hash,
+)
+from repro.hashing.linear_congruence import (
+    LinearCongruentialSequence,
+    address_sequence,
+    candidate_sequence,
+    default_lcg_params,
+)
+
+__all__ = [
+    "NodeHasher",
+    "fingerprint_of",
+    "hash_string",
+    "split_hash",
+    "LinearCongruentialSequence",
+    "address_sequence",
+    "candidate_sequence",
+    "default_lcg_params",
+]

@@ -1,0 +1,102 @@
+"""Deterministic node hashing for graph sketches.
+
+The graph sketch maps every node ``v`` of the streaming graph to a hash value
+``H(v)`` drawn uniformly from ``[0, M)``.  GSS then splits that value into a
+matrix *address* ``h(v) = H(v) // F`` and a *fingerprint* ``f(v) = H(v) % F``
+(Definition 5 in the paper).  TCM and gMatrix use the same kind of node hash
+with ``M`` equal to the matrix width.
+
+Python's builtin ``hash`` is salted per process, so we implement a stable
+64-bit mix (an FNV-1a / splitmix64 combination) that produces identical values
+across runs and platforms.  Different logical hash functions are obtained by
+seeding the mixer, which is how TCM builds several independent sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64(value: int) -> int:
+    """Finalize a 64-bit value with the splitmix64 avalanche function."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def hash_string(key: str, seed: int = 0) -> int:
+    """Return a stable 64-bit hash of ``key``.
+
+    FNV-1a over the UTF-8 bytes followed by a splitmix64 finalizer; the seed
+    perturbs the initial state so that distinct seeds behave like independent
+    hash functions.
+    """
+    state = (_FNV_OFFSET ^ _splitmix64(seed)) & _MASK64
+    for byte in key.encode("utf-8"):
+        state ^= byte
+        state = (state * _FNV_PRIME) & _MASK64
+    return _splitmix64(state)
+
+
+def hash_key(key: Hashable, seed: int = 0) -> int:
+    """Hash an arbitrary node identifier (str, int, bytes, tuple...)."""
+    if isinstance(key, str):
+        return hash_string(key, seed)
+    if isinstance(key, bytes):
+        return hash_string(key.decode("latin-1"), seed)
+    if isinstance(key, int):
+        return _splitmix64((key & _MASK64) ^ _splitmix64(seed ^ 0xA5A5A5A5))
+    return hash_string(repr(key), seed)
+
+
+def split_hash(value: int, fingerprint_range: int) -> Tuple[int, int]:
+    """Split a node hash into ``(address, fingerprint)``.
+
+    ``address = value // F`` and ``fingerprint = value % F`` exactly as in
+    Definition 5 of the paper.
+    """
+    if fingerprint_range <= 0:
+        raise ValueError("fingerprint_range must be positive")
+    return value // fingerprint_range, value % fingerprint_range
+
+
+def fingerprint_of(value: int, fingerprint_range: int) -> int:
+    """Return only the fingerprint part of a node hash."""
+    return value % fingerprint_range
+
+
+@dataclass(frozen=True)
+class NodeHasher:
+    """Node hash ``H(.)`` with value range ``[0, value_range)``.
+
+    Parameters
+    ----------
+    value_range:
+        ``M`` in the paper.  For GSS this is ``matrix_width * fingerprint_range``;
+        for TCM it equals the matrix width.
+    seed:
+        Selects an independent hash function (used by multi-sketch TCM).
+    """
+
+    value_range: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.value_range <= 0:
+            raise ValueError("value_range must be positive")
+
+    def __call__(self, node: Hashable) -> int:
+        """Return ``H(node)`` in ``[0, value_range)``."""
+        return hash_key(node, self.seed) % self.value_range
+
+    def address_and_fingerprint(
+        self, node: Hashable, fingerprint_range: int
+    ) -> Tuple[int, int]:
+        """Return ``(h(node), f(node))`` for the given fingerprint range."""
+        return split_hash(self(node), fingerprint_range)

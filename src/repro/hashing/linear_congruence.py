@@ -1,0 +1,154 @@
+"""Linear-congruential sequences for square hashing.
+
+Square hashing (Section V-A of the paper) derives, for every node ``v``, a
+sequence of ``r`` alternative matrix addresses
+
+    q_1(v) = (a * f(v) + b) % p
+    q_i(v) = (a * q_{i-1}(v) + b) % p
+    h_i(v) = (h(v) + q_i(v)) % m
+
+seeded by the node's fingerprint ``f(v)``.  The sequence must be *independent*
+(pairwise collisions of different fingerprints look random) and *reversible*
+(from ``h_i(v)``, ``i`` and ``f(v)`` the original address ``h(v)`` can be
+recovered) — both hold for a linear congruential generator with a full cycle.
+
+Candidate-bucket sampling (Section V-B1) uses the same generator seeded by
+``f(s) + f(d)`` to pick ``k`` of the ``r * r`` mapped buckets for an edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Multiplier / increment / modulus triples with good lattice structure, in the
+#: spirit of L'Ecuyer's tables.  The modulus is prime so the generator has a
+#: long cycle for every non-degenerate seed.
+_LCG_PARAMETER_TABLE: Tuple[Tuple[int, int, int], ...] = (
+    (1103515245, 12345, 2147483647),
+    (69069, 1, 2147483647),
+    (40692, 3, 2147483399),
+    (48271, 11, 2147483647),
+)
+
+
+def default_lcg_params(index: int = 0) -> Tuple[int, int, int]:
+    """Return an ``(a, b, p)`` parameter triple from the built-in table."""
+    return _LCG_PARAMETER_TABLE[index % len(_LCG_PARAMETER_TABLE)]
+
+
+@dataclass(frozen=True)
+class LinearCongruentialSequence:
+    """A reusable LR-sequence generator ``q_i = (a * q_{i-1} + b) % p``."""
+
+    multiplier: int = 1103515245
+    increment: int = 12345
+    modulus: int = 2147483647
+
+    def __post_init__(self) -> None:
+        if self.modulus <= 1:
+            raise ValueError("modulus must be greater than 1")
+        if self.multiplier % self.modulus == 0:
+            raise ValueError("multiplier must not be a multiple of the modulus")
+
+    def generate(self, seed: int, length: int) -> List[int]:
+        """Return the first ``length`` values of the sequence seeded by ``seed``."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        values: List[int] = []
+        current = seed % self.modulus
+        for _ in range(length):
+            current = (self.multiplier * current + self.increment) % self.modulus
+            values.append(current)
+        return values
+
+    def value_at(self, seed: int, index: int) -> int:
+        """Return the ``index``-th (1-based) value of the sequence for ``seed``."""
+        if index < 1:
+            raise ValueError("index is 1-based and must be >= 1")
+        current = seed % self.modulus
+        for _ in range(index):
+            current = (self.multiplier * current + self.increment) % self.modulus
+        return current
+
+
+def address_sequence(
+    base_address: int,
+    fingerprint: int,
+    length: int,
+    matrix_width: int,
+    lcg: LinearCongruentialSequence = LinearCongruentialSequence(),
+) -> List[int]:
+    """Return the square-hashing address sequence ``{h_i(v)}`` (Equation 2).
+
+    Parameters
+    ----------
+    base_address:
+        ``h(v)``, the node's primary matrix address.
+    fingerprint:
+        ``f(v)``, which seeds the LR sequence.
+    length:
+        ``r``, the number of alternative rows/columns per node.
+    matrix_width:
+        ``m``, the matrix side length; addresses wrap modulo ``m``.
+    """
+    if matrix_width <= 0:
+        raise ValueError("matrix_width must be positive")
+    offsets = lcg.generate(fingerprint, length)
+    return [(base_address + offset) % matrix_width for offset in offsets]
+
+
+def recover_address(
+    observed_address: int,
+    fingerprint: int,
+    index: int,
+    matrix_width: int,
+    lcg: LinearCongruentialSequence = LinearCongruentialSequence(),
+) -> int:
+    """Invert :func:`address_sequence`: recover ``h(v)`` from ``h_i(v)``.
+
+    Used by the 1-hop successor / precursor queries to rebuild the node hash
+    ``H(v) = h(v) * F + f(v)`` of the *other* endpoint stored in a bucket
+    (Section V-A, reversibility requirement).
+    """
+    offset = lcg.value_at(fingerprint, index)
+    return (observed_address - offset) % matrix_width
+
+
+def candidate_sequence(
+    source_fingerprint: int,
+    destination_fingerprint: int,
+    sample_size: int,
+    sequence_length: int,
+    lcg: LinearCongruentialSequence = LinearCongruentialSequence(),
+) -> List[Tuple[int, int]]:
+    """Return ``k`` sampled (row-index, column-index) pairs for an edge.
+
+    This implements Equations 4-5: a LR sequence seeded by ``f(s) + f(d)``
+    selects ``k`` candidate buckets among the ``r * r`` mapped buckets.  The
+    returned pairs are *indices into the address sequences* (0-based), i.e.
+    values in ``[0, r)``.
+    """
+    if sequence_length <= 0:
+        raise ValueError("sequence_length must be positive")
+    if sample_size < 0:
+        raise ValueError("sample_size must be non-negative")
+    seed = source_fingerprint + destination_fingerprint
+    draws = lcg.generate(seed, sample_size)
+    pairs: List[Tuple[int, int]] = []
+    span = sequence_length * sequence_length
+    for draw in draws:
+        position = draw % span
+        pairs.append((position // sequence_length, position % sequence_length))
+    return pairs
+
+
+def unique_candidates(pairs: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Deduplicate candidate pairs while keeping their first-seen order."""
+    seen = set()
+    ordered: List[Tuple[int, int]] = []
+    for pair in pairs:
+        if pair not in seen:
+            seen.add(pair)
+            ordered.append(pair)
+    return ordered

@@ -1,0 +1,22 @@
+"""Evaluation metrics used throughout Section VII of the paper."""
+
+from repro.metrics.accuracy import (
+    average_precision,
+    average_relative_error,
+    buffer_percentage,
+    precision,
+    relative_error,
+    true_negative_recall,
+)
+from repro.metrics.throughput import Throughput, measure_update_throughput
+
+__all__ = [
+    "relative_error",
+    "average_relative_error",
+    "precision",
+    "average_precision",
+    "true_negative_recall",
+    "buffer_percentage",
+    "Throughput",
+    "measure_update_throughput",
+]

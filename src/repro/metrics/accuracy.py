@@ -1,0 +1,66 @@
+"""Accuracy metrics (Section VII-B of the paper).
+
+* **Average Relative Error (ARE)** for edge and node queries:
+  ``RE(q) = f_hat(q) / f(q) - 1`` averaged over the query set.
+* **Average Precision** for 1-hop successor / precursor queries and pattern
+  matching: ``|SS| / |SS_hat|`` where ``SS`` is the true neighbour set and
+  ``SS_hat ⊇ SS`` the reported one (GSS and TCM have no false negatives).
+* **True Negative Recall** for reachability: the fraction of genuinely
+  unreachable query pairs reported as unreachable.
+* **Buffer Percentage**: buffered edges divided by the total edges considered.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``estimate / truth - 1`` (the paper's RE); requires a non-zero truth."""
+    if truth == 0:
+        raise ValueError("relative error is undefined for a true value of zero")
+    return estimate / truth - 1.0
+
+
+def average_relative_error(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean relative error over ``(estimate, truth)`` pairs (ARE)."""
+    errors = [relative_error(estimate, truth) for estimate, truth in pairs]
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)
+
+
+def precision(true_set: Set, reported_set: Set) -> float:
+    """``|SS| / |SS_hat|`` for one successor/precursor query.
+
+    An empty reported set with an empty true set counts as a perfect answer;
+    an empty reported set that misses true members scores 0 (cannot happen
+    with GSS/TCM, which have no false negatives, but exact stores may be
+    compared against stale truths in tests).
+    """
+    if not reported_set:
+        return 1.0 if not true_set else 0.0
+    return len(true_set & reported_set) / len(reported_set)
+
+
+def average_precision(pairs: Iterable[Tuple[Set, Set]]) -> float:
+    """Mean precision over ``(true_set, reported_set)`` pairs."""
+    values = [precision(true_set, reported) for true_set, reported in pairs]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def true_negative_recall(reported_reachable: Sequence[bool]) -> float:
+    """Fraction of (all unreachable) query pairs reported as unreachable."""
+    if not reported_reachable:
+        return 0.0
+    negatives = sum(1 for reachable in reported_reachable if not reachable)
+    return negatives / len(reported_reachable)
+
+
+def buffer_percentage(buffered_edges: int, total_edges: int) -> float:
+    """Buffered edges as a fraction of ``total_edges`` (Figure 13's metric)."""
+    if total_edges <= 0:
+        return 0.0
+    return buffered_edges / total_edges

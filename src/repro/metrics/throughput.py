@@ -1,0 +1,69 @@
+"""Update-throughput measurement (Table I).
+
+The paper reports update speed in million insertions per second (Mips) for
+GSS, GSS without candidate sampling, TCM and the adjacency list.  Absolute
+numbers from a pure-Python implementation are not comparable with the paper's
+C++ measurements; what the reproduction preserves is the *relative* ordering
+and ratios, which the experiment reports alongside edges-per-second.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Throughput:
+    """Result of one throughput measurement."""
+
+    label: str
+    items: int
+    seconds: float
+
+    @property
+    def items_per_second(self) -> float:
+        """Raw update rate."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.items / self.seconds
+
+    @property
+    def mips(self) -> float:
+        """Million insertions per second (the paper's unit)."""
+        return self.items_per_second / 1_000_000.0
+
+
+def measure_update_throughput(
+    make_store: Callable[[], object],
+    edges: Sequence,
+    label: str = "",
+    repeats: int = 1,
+) -> Throughput:
+    """Time how fast a freshly built store ingests ``edges``.
+
+    ``make_store`` builds a new empty store each repeat so that repeated runs
+    measure the same cold-start insertion workload the paper uses ("in each
+    data set we insert all the edges ... repeat this procedure ... and
+    calculate the average speed").
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    total_seconds = 0.0
+    for _ in range(repeats):
+        store = make_store()
+        started = time.perf_counter()
+        for edge in edges:
+            store.update(edge.source, edge.destination, edge.weight)
+        total_seconds += time.perf_counter() - started
+    return Throughput(label=label, items=len(edges) * repeats, seconds=total_seconds)
+
+
+def relative_speed(reference: Throughput, others: Iterable[Throughput]) -> dict:
+    """Speed of each measurement relative to ``reference`` (reference = 1.0)."""
+    base = reference.items_per_second
+    return {
+        other.label: (other.items_per_second / base if base else float("nan"))
+        for other in others
+    }

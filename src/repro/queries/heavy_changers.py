@@ -1,0 +1,165 @@
+"""Heavy changers and persistence queries across two summaries.
+
+The gMatrix paper (the closest related work) extends graph sketches to
+detect *edge heavy hitters* and *heavy changers*: edges whose aggregated
+weight changed the most between two epochs — the signature of an onset of a
+network attack or of a sudden communication burst.  GSS supports the same
+analyses directly, because any two sketches (e.g. of two consecutive epochs)
+can be compared edge by edge through the edge-query primitive.
+
+The functions here take two stores that implement the query-primitive
+protocol (typically two ``GSS`` instances built over consecutive windows, or a
+sketch and an exact reference) plus the candidate edge set to examine, and
+report absolute changes, relative changes and persistent edges.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Tuple
+
+from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+def _weight_or_zero(store: GraphQueryInterface, source: Hashable, destination: Hashable) -> float:
+    """Edge weight with the paper's ``-1`` missing sentinel mapped to 0."""
+    weight = store.edge_query(source, destination)
+    return 0.0 if weight == EDGE_NOT_FOUND else weight
+
+
+def edge_changes(
+    before: GraphQueryInterface,
+    after: GraphQueryInterface,
+    edges: Iterable[EdgeKey],
+) -> List[Tuple[EdgeKey, float]]:
+    """Signed weight change ``after - before`` for every candidate edge."""
+    return [
+        ((source, destination), _weight_or_zero(after, source, destination) - _weight_or_zero(before, source, destination))
+        for source, destination in edges
+    ]
+
+
+def heavy_changers(
+    before: GraphQueryInterface,
+    after: GraphQueryInterface,
+    edges: Iterable[EdgeKey],
+    threshold: float,
+) -> List[Tuple[EdgeKey, float]]:
+    """Edges whose absolute weight change is at least ``threshold``.
+
+    Results are sorted by decreasing absolute change (ties broken by the edge
+    key) so the most suspicious edges come first.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    changed = [
+        (edge, delta)
+        for edge, delta in edge_changes(before, after, edges)
+        if abs(delta) >= threshold
+    ]
+    changed.sort(key=lambda item: (-abs(item[1]), repr(item[0])))
+    return changed
+
+
+def top_k_changers(
+    before: GraphQueryInterface,
+    after: GraphQueryInterface,
+    edges: Iterable[EdgeKey],
+    k: int,
+) -> List[Tuple[EdgeKey, float]]:
+    """The ``k`` edges with the largest absolute weight change."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    changed = edge_changes(before, after, edges)
+    changed.sort(key=lambda item: (-abs(item[1]), repr(item[0])))
+    return changed[:k]
+
+
+def relative_changers(
+    before: GraphQueryInterface,
+    after: GraphQueryInterface,
+    edges: Iterable[EdgeKey],
+    ratio: float,
+    minimum_weight: float = 1.0,
+) -> List[Tuple[EdgeKey, float]]:
+    """Edges whose weight grew (or shrank) by at least a multiplicative ``ratio``.
+
+    ``minimum_weight`` filters out noise from edges that were essentially
+    absent in both epochs.  Edges absent before but present after are treated
+    as infinite growth and always reported (with the after-weight as the
+    reported factor).
+    """
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    results: List[Tuple[EdgeKey, float]] = []
+    for source, destination in edges:
+        old = _weight_or_zero(before, source, destination)
+        new = _weight_or_zero(after, source, destination)
+        if max(old, new) < minimum_weight:
+            continue
+        if old == 0.0:
+            results.append(((source, destination), new))
+            continue
+        factor = new / old
+        if factor >= ratio or (factor > 0 and factor <= 1.0 / ratio):
+            results.append(((source, destination), factor))
+    results.sort(key=lambda item: (-item[1], repr(item[0])))
+    return results
+
+
+def persistent_edges(
+    stores: Iterable[GraphQueryInterface],
+    edges: Iterable[EdgeKey],
+    minimum_weight: float = 1.0,
+) -> List[EdgeKey]:
+    """Edges present (with at least ``minimum_weight``) in *every* summary.
+
+    Persistence across epochs distinguishes long-lived relationships (stable
+    service dependencies, recurring correspondents) from one-off events, a
+    standard analysis on communication graphs.
+    """
+    store_list = list(stores)
+    if not store_list:
+        raise ValueError("persistent_edges needs at least one store")
+    persistent: List[EdgeKey] = []
+    for source, destination in edges:
+        if all(
+            _weight_or_zero(store, source, destination) >= minimum_weight
+            for store in store_list
+        ):
+            persistent.append((source, destination))
+    return persistent
+
+
+def new_edges(
+    before: GraphQueryInterface,
+    after: GraphQueryInterface,
+    edges: Iterable[EdgeKey],
+) -> List[EdgeKey]:
+    """Candidate edges absent in ``before`` but present in ``after``.
+
+    On sketches "absent" means the edge query returned the ``-1`` sentinel,
+    so false positives in ``before`` can only *hide* new edges, never invent
+    them — the answer has one-sided error like the underlying primitive.
+    """
+    return [
+        (source, destination)
+        for source, destination in edges
+        if before.edge_query(source, destination) == EDGE_NOT_FOUND
+        and after.edge_query(source, destination) != EDGE_NOT_FOUND
+    ]
+
+
+def vanished_edges(
+    before: GraphQueryInterface,
+    after: GraphQueryInterface,
+    edges: Iterable[EdgeKey],
+) -> List[EdgeKey]:
+    """Candidate edges present in ``before`` but absent in ``after``."""
+    return [
+        (source, destination)
+        for source, destination in edges
+        if before.edge_query(source, destination) != EDGE_NOT_FOUND
+        and after.edge_query(source, destination) == EDGE_NOT_FOUND
+    ]

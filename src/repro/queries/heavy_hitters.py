@@ -1,0 +1,92 @@
+"""Heavy-hitter queries over graph summaries.
+
+The gMatrix paper extends graph-stream summaries to "edge heavy hitters and so
+on"; GSS supports the same style of query by composing the primitives, which is
+exactly what the network-traffic use case needs (find the heaviest flows and
+the busiest hosts).  Because the underlying estimates never under-count, a
+heavy hitter is never missed — the reported set can only contain extra
+candidates whose estimate was inflated by collisions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Tuple
+
+from repro.queries.node_query import node_in_weight, node_out_weight
+from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+
+
+def heavy_edges(
+    store: GraphQueryInterface,
+    candidate_edges: Iterable[Tuple[Hashable, Hashable]],
+    threshold: float,
+) -> List[Tuple[Hashable, Hashable, float]]:
+    """Edges whose estimated weight reaches ``threshold``.
+
+    ``candidate_edges`` is the set of edges to test (typically the distinct
+    edges of the stream, or the edges incident to a node under investigation).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    result = []
+    for source, destination in candidate_edges:
+        weight = store.edge_query(source, destination)
+        if weight != EDGE_NOT_FOUND and weight >= threshold:
+            result.append((source, destination, weight))
+    result.sort(key=lambda item: item[2], reverse=True)
+    return result
+
+
+def top_k_edges(
+    store: GraphQueryInterface,
+    candidate_edges: Iterable[Tuple[Hashable, Hashable]],
+    k: int,
+) -> List[Tuple[Hashable, Hashable, float]]:
+    """The ``k`` candidate edges with the largest estimated weight."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    weighted = []
+    for source, destination in candidate_edges:
+        weight = store.edge_query(source, destination)
+        if weight != EDGE_NOT_FOUND:
+            weighted.append((source, destination, weight))
+    weighted.sort(key=lambda item: item[2], reverse=True)
+    return weighted[:k]
+
+
+def heavy_nodes(
+    store: GraphQueryInterface,
+    candidate_nodes: Iterable[Hashable],
+    threshold: float,
+    direction: str = "out",
+) -> List[Tuple[Hashable, float]]:
+    """Nodes whose aggregated out- (or in-) weight reaches ``threshold``."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if direction not in ("out", "in"):
+        raise ValueError("direction must be 'out' or 'in'")
+    aggregate = node_out_weight if direction == "out" else node_in_weight
+    result = [
+        (node, weight)
+        for node in candidate_nodes
+        if (weight := aggregate(store, node)) >= threshold
+    ]
+    result.sort(key=lambda item: item[1], reverse=True)
+    return result
+
+
+def top_k_nodes(
+    store: GraphQueryInterface,
+    candidate_nodes: Iterable[Hashable],
+    k: int,
+    direction: str = "out",
+) -> List[Tuple[Hashable, float]]:
+    """The ``k`` candidate nodes with the largest aggregated weight."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if direction not in ("out", "in"):
+        raise ValueError("direction must be 'out' or 'in'")
+    aggregate = node_out_weight if direction == "out" else node_in_weight
+    weighted = [(node, aggregate(store, node)) for node in candidate_nodes]
+    weighted.sort(key=lambda item: item[1], reverse=True)
+    return weighted[:k]

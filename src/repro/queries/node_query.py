@@ -1,0 +1,40 @@
+"""Node (aggregate weight) queries composed from the primitives.
+
+A node query for ``v`` returns the sum of the weights of all edges with source
+node ``v`` (Section VII-E).  Sketches that expose a native implementation
+(``node_out_weight``) are used directly; otherwise the query is composed from
+a successor query followed by edge queries, which is how the paper describes
+building compound queries from the primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+
+
+def node_out_weight(store: GraphQueryInterface, node: Hashable) -> float:
+    """Aggregated weight of all out-going edges of ``node``."""
+    native = getattr(store, "node_out_weight", None)
+    if callable(native):
+        return native(node)
+    total = 0.0
+    for successor in store.successor_query(node):
+        weight = store.edge_query(node, successor)
+        if weight != EDGE_NOT_FOUND:
+            total += weight
+    return total
+
+
+def node_in_weight(store: GraphQueryInterface, node: Hashable) -> float:
+    """Aggregated weight of all in-coming edges of ``node``."""
+    native = getattr(store, "node_in_weight", None)
+    if callable(native):
+        return native(node)
+    total = 0.0
+    for precursor in store.precursor_query(node):
+        weight = store.edge_query(precursor, node)
+        if weight != EDGE_NOT_FOUND:
+            total += weight
+    return total

@@ -1,0 +1,146 @@
+"""Path-style compound queries built on the primitives.
+
+The paper argues that once the three primitives are available "almost all
+algorithms for graphs can be implemented".  This module adds the path-shaped
+ones that the use cases in the introduction rely on (news spreading paths,
+message routes in data centers):
+
+* ``k_hop_successors`` / ``k_hop_precursors`` — the nodes within ``k`` hops;
+* ``shortest_path_length`` — BFS hop distance between two nodes;
+* ``shortest_path`` — one concrete hop-minimal path (useful for tracing);
+* ``weakly_connected_components`` — components of the undirected view.
+
+All of them run unchanged on exact stores and on sketches; on sketches the
+results can only err on the side of extra nodes/edges (false positives), never
+missing a true path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.queries.primitives import GraphQueryInterface
+
+
+def k_hop_successors(
+    store: GraphQueryInterface, node: Hashable, hops: int, max_nodes: Optional[int] = None
+) -> Set[Hashable]:
+    """Nodes reachable from ``node`` within ``hops`` hops (excluding itself)."""
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    frontier = {node}
+    seen = {node}
+    for _ in range(hops):
+        next_frontier: Set[Hashable] = set()
+        for current in frontier:
+            for successor in store.successor_query(current):
+                if successor not in seen:
+                    seen.add(successor)
+                    next_frontier.add(successor)
+                    if max_nodes is not None and len(seen) > max_nodes:
+                        return seen - {node}
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return seen - {node}
+
+
+def k_hop_precursors(
+    store: GraphQueryInterface, node: Hashable, hops: int, max_nodes: Optional[int] = None
+) -> Set[Hashable]:
+    """Nodes that can reach ``node`` within ``hops`` hops (excluding itself)."""
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    frontier = {node}
+    seen = {node}
+    for _ in range(hops):
+        next_frontier: Set[Hashable] = set()
+        for current in frontier:
+            for precursor in store.precursor_query(current):
+                if precursor not in seen:
+                    seen.add(precursor)
+                    next_frontier.add(precursor)
+                    if max_nodes is not None and len(seen) > max_nodes:
+                        return seen - {node}
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return seen - {node}
+
+
+def shortest_path_length(
+    store: GraphQueryInterface,
+    source: Hashable,
+    destination: Hashable,
+    max_nodes: Optional[int] = None,
+) -> Optional[int]:
+    """Hop count of the shortest directed path, or ``None`` when unreachable."""
+    if source == destination:
+        return 0
+    distance = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for successor in store.successor_query(current):
+            if successor in distance:
+                continue
+            distance[successor] = distance[current] + 1
+            if successor == destination:
+                return distance[successor]
+            if max_nodes is not None and len(distance) >= max_nodes:
+                return None
+            queue.append(successor)
+    return None
+
+
+def shortest_path(
+    store: GraphQueryInterface,
+    source: Hashable,
+    destination: Hashable,
+    max_nodes: Optional[int] = None,
+) -> Optional[List[Hashable]]:
+    """One hop-minimal path from ``source`` to ``destination`` (inclusive)."""
+    if source == destination:
+        return [source]
+    parent: Dict[Hashable, Hashable] = {source: source}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for successor in store.successor_query(current):
+            if successor in parent:
+                continue
+            parent[successor] = current
+            if successor == destination:
+                path = [successor]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            if max_nodes is not None and len(parent) >= max_nodes:
+                return None
+            queue.append(successor)
+    return None
+
+
+def weakly_connected_components(
+    store: GraphQueryInterface, nodes: Iterable[Hashable]
+) -> List[Set[Hashable]]:
+    """Connected components of the undirected view, restricted to ``nodes``."""
+    node_set = set(nodes)
+    unvisited = set(node_set)
+    components: List[Set[Hashable]] = []
+    while unvisited:
+        seed = next(iter(unvisited))
+        component = {seed}
+        queue = deque([seed])
+        unvisited.discard(seed)
+        while queue:
+            current = queue.popleft()
+            neighbors = store.successor_query(current) | store.precursor_query(current)
+            for neighbor in neighbors:
+                if neighbor in unvisited:
+                    unvisited.discard(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components

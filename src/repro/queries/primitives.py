@@ -1,0 +1,59 @@
+"""The graph query primitives every store and sketch implements.
+
+The paper's Definition 4 fixes the contract:
+
+* **edge query** — given an edge ``(s, d)`` return its weight, or ``-1`` if
+  the edge does not exist;
+* **1-hop successor query** — given a node ``v`` return the set of nodes that
+  are 1-hop reachable from ``v`` (empty result is reported as ``{-1}`` in the
+  paper; we return an empty set and expose the sentinel for callers that want
+  the paper's exact convention);
+* **1-hop precursor query** — symmetric, nodes that reach ``v`` in one hop.
+
+Exact stores answer them exactly; sketches answer them approximately.  The
+compound queries in this package only rely on this protocol, so they run
+unchanged on top of either.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Protocol, Set, runtime_checkable
+
+#: Sentinel returned by edge queries when the edge is not present.
+EDGE_NOT_FOUND: float = -1.0
+
+#: Sentinel set returned by the paper for empty successor/precursor results.
+NO_NEIGHBORS: Set[int] = frozenset({-1})
+
+
+@runtime_checkable
+class GraphQueryInterface(Protocol):
+    """Protocol shared by exact stores and sketches."""
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Apply one stream item (add ``weight`` to edge ``source -> destination``)."""
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+        """Return the aggregated weight of the edge, or ``EDGE_NOT_FOUND``."""
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Return the 1-hop successors of ``node`` (empty set when none)."""
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Return the 1-hop precursors of ``node`` (empty set when none)."""
+
+
+def consume_stream(store: GraphQueryInterface, edges: Iterable) -> GraphQueryInterface:
+    """Feed every item of a stream into ``store`` and return it.
+
+    Accepts anything iterable over :class:`~repro.streaming.edge.StreamEdge`
+    (a ``GraphStream``, list, generator, ...).
+    """
+    for edge in edges:
+        store.update(edge.source, edge.destination, edge.weight)
+    return store
+
+
+def as_paper_result(neighbors: Set[Hashable]) -> Set:
+    """Convert an empty neighbor set to the paper's ``{-1}`` convention."""
+    return set(neighbors) if neighbors else set(NO_NEIGHBORS)

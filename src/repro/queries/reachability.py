@@ -1,0 +1,62 @@
+"""Reachability queries via breadth-first search over successor queries.
+
+Because sketches never lose edges (only add spurious ones), reachability has
+no false negatives: if ``d`` is reachable from ``s`` in the streaming graph,
+every summary reports "reachable".  The interesting metric is therefore the
+true-negative recall on unreachable pairs (Figure 12), which this module's BFS
+makes measurable for any store implementing the primitives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Optional, Set
+
+from repro.queries.primitives import GraphQueryInterface
+
+
+def reachable_set(
+    store: GraphQueryInterface,
+    source: Hashable,
+    max_nodes: Optional[int] = None,
+) -> Set[Hashable]:
+    """All nodes reachable from ``source`` (including itself).
+
+    ``max_nodes`` bounds the BFS frontier for very dense false-positive
+    neighbourhoods; ``None`` explores exhaustively.
+    """
+    visited: Set[Hashable] = {source}
+    queue = deque([source])
+    while queue:
+        if max_nodes is not None and len(visited) >= max_nodes:
+            break
+        current = queue.popleft()
+        for successor in store.successor_query(current):
+            if successor not in visited:
+                visited.add(successor)
+                queue.append(successor)
+    return visited
+
+
+def is_reachable(
+    store: GraphQueryInterface,
+    source: Hashable,
+    destination: Hashable,
+    max_nodes: Optional[int] = None,
+) -> bool:
+    """True when ``destination`` is reachable from ``source`` in the summary."""
+    if source == destination:
+        return True
+    visited: Set[Hashable] = {source}
+    queue = deque([source])
+    while queue:
+        if max_nodes is not None and len(visited) >= max_nodes:
+            return False
+        current = queue.popleft()
+        for successor in store.successor_query(current):
+            if successor == destination:
+                return True
+            if successor not in visited:
+                visited.add(successor)
+                queue.append(successor)
+    return False

@@ -1,0 +1,36 @@
+"""Whole-graph reconstruction from the query primitives.
+
+Section III of the paper argues that the three primitives suffice to
+re-construct the entire graph: enumerate the known node IDs (from the reverse
+hash table), run a successor query per node to find the edges and an edge
+query per edge to find the weights.  This module implements that procedure for
+any store exposing the primitives, which is also how the correctness of GSS's
+reversibility is exercised in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+
+
+def reconstruct_graph(
+    store: GraphQueryInterface, nodes: Iterable[Hashable]
+) -> Dict[Tuple[Hashable, Hashable], float]:
+    """Rebuild the (approximate) streaming graph restricted to ``nodes``.
+
+    Returns a mapping from (source, destination) to estimated weight.  For
+    exact stores this reproduces the graph exactly; for sketches the result
+    may contain extra edges (false positives) but never misses a real one.
+    """
+    node_set = set(nodes)
+    edges: Dict[Tuple[Hashable, Hashable], float] = {}
+    for source in node_set:
+        for destination in store.successor_query(source):
+            if destination not in node_set:
+                continue
+            weight = store.edge_query(source, destination)
+            if weight != EDGE_NOT_FOUND:
+                edges[(source, destination)] = weight
+    return edges

@@ -1,0 +1,250 @@
+"""Labeled subgraph matching (VF2-style backtracking search).
+
+Used by the Figure 15 experiment: patterns of 6–15 labeled edges are extracted
+from stream windows by random walk and then searched both in the exact window
+graph (the SJ-tree stand-in) and in the graph reconstructed from GSS
+primitives.  The matcher is written from scratch — no networkx — and works on
+any :class:`LabeledDiGraph`, however it was materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from repro.queries.primitives import GraphQueryInterface
+from repro.streaming.stream import GraphStream
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """One labeled edge of a query pattern, over pattern-variable names."""
+
+    source: str
+    destination: str
+    label: str = ""
+
+
+@dataclass
+class Pattern:
+    """A connected query pattern: a list of labeled edges over variables."""
+
+    edges: List[PatternEdge] = field(default_factory=list)
+
+    @classmethod
+    def from_tuples(cls, tuples: List[Tuple[str, str, str]]) -> "Pattern":
+        """Build a pattern from ``(source_var, destination_var, label)`` tuples."""
+        return cls([PatternEdge(*edge) for edge in tuples])
+
+    @property
+    def variables(self) -> List[str]:
+        """Pattern variables in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for edge in self.edges:
+            seen.setdefault(edge.source, None)
+            seen.setdefault(edge.destination, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+class LabeledDiGraph:
+    """A small labeled directed graph materialized for matching."""
+
+    def __init__(self) -> None:
+        self._out: Dict[Hashable, Dict[Hashable, str]] = {}
+        self._in: Dict[Hashable, Dict[Hashable, str]] = {}
+
+    def add_edge(self, source: Hashable, destination: Hashable, label: str = "") -> None:
+        """Insert (or relabel) a directed edge."""
+        self._out.setdefault(source, {})[destination] = label
+        self._in.setdefault(destination, {})[source] = label
+        self._out.setdefault(destination, {})
+        self._in.setdefault(source, {})
+
+    def has_edge(self, source: Hashable, destination: Hashable, label: Optional[str] = None) -> bool:
+        """True when the edge exists (and carries ``label`` when given)."""
+        existing = self._out.get(source, {}).get(destination)
+        if existing is None:
+            return False
+        return label is None or existing == label
+
+    def successors(self, node: Hashable) -> Dict[Hashable, str]:
+        """Out-neighbors of ``node`` with their labels."""
+        return self._out.get(node, {})
+
+    def predecessors(self, node: Hashable) -> Dict[Hashable, str]:
+        """In-neighbors of ``node`` with their labels."""
+        return self._in.get(node, {})
+
+    def nodes(self) -> List[Hashable]:
+        """All node identifiers."""
+        return list(set(self._out) | set(self._in))
+
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return sum(len(neighbors) for neighbors in self._out.values())
+
+    @classmethod
+    def from_stream(cls, stream: GraphStream) -> "LabeledDiGraph":
+        """Materialize the streaming graph of a window (labels from the items)."""
+        graph = cls()
+        for edge in stream:
+            graph.add_edge(edge.source, edge.destination, edge.label)
+        return graph
+
+    @classmethod
+    def from_store(
+        cls,
+        store: GraphQueryInterface,
+        nodes,
+        label_lookup: Optional[Dict[Tuple[Hashable, Hashable], str]] = None,
+    ) -> "LabeledDiGraph":
+        """Materialize the summarized graph restricted to ``nodes``.
+
+        Edges are discovered with successor queries; labels (which sketches do
+        not store) come from ``label_lookup`` — in the Figure 15 experiment
+        that lookup is the application's own edge-metadata table.
+        """
+        node_set = set(nodes)
+        graph = cls()
+        labels = label_lookup or {}
+        for node in node_set:
+            for successor in store.successor_query(node):
+                if successor in node_set:
+                    graph.add_edge(node, successor, labels.get((node, successor), ""))
+        return graph
+
+
+class SubgraphMatcher:
+    """Backtracking (VF2-style) search for pattern embeddings."""
+
+    def __init__(self, graph: LabeledDiGraph) -> None:
+        self.graph = graph
+
+    # -- public API ---------------------------------------------------------
+
+    def find_one(self, pattern: Pattern) -> Optional[Dict[str, Hashable]]:
+        """Return one embedding (variable -> data node) or ``None``."""
+        for embedding in self._search(pattern):
+            return embedding
+        return None
+
+    def find_all(self, pattern: Pattern, limit: int = 1000) -> List[Dict[str, Hashable]]:
+        """Return up to ``limit`` embeddings."""
+        results: List[Dict[str, Hashable]] = []
+        for embedding in self._search(pattern):
+            results.append(embedding)
+            if len(results) >= limit:
+                break
+        return results
+
+    def count(self, pattern: Pattern, limit: int = 1000) -> int:
+        """Count embeddings, stopping at ``limit``."""
+        return len(self.find_all(pattern, limit=limit))
+
+    # -- search ---------------------------------------------------------------
+
+    def _search(self, pattern: Pattern) -> Iterator[Dict[str, Hashable]]:
+        if not pattern.edges:
+            return
+        order = self._edge_order(pattern)
+        yield from self._extend({}, order, 0)
+
+    def _edge_order(self, pattern: Pattern) -> List[PatternEdge]:
+        """Order pattern edges so each new edge touches an already-bound variable."""
+        remaining = list(pattern.edges)
+        ordered: List[PatternEdge] = [remaining.pop(0)]
+        bound: Set[str] = {ordered[0].source, ordered[0].destination}
+        while remaining:
+            index = next(
+                (
+                    position
+                    for position, edge in enumerate(remaining)
+                    if edge.source in bound or edge.destination in bound
+                ),
+                0,
+            )
+            edge = remaining.pop(index)
+            ordered.append(edge)
+            bound.add(edge.source)
+            bound.add(edge.destination)
+        return ordered
+
+    def _extend(
+        self,
+        assignment: Dict[str, Hashable],
+        order: List[PatternEdge],
+        position: int,
+    ) -> Iterator[Dict[str, Hashable]]:
+        if position == len(order):
+            yield dict(assignment)
+            return
+        edge = order[position]
+        for source_node, destination_node in self._candidate_pairs(assignment, edge):
+            if self._conflicts(assignment, edge, source_node, destination_node):
+                continue
+            added = []
+            if edge.source not in assignment:
+                assignment[edge.source] = source_node
+                added.append(edge.source)
+            if edge.destination not in assignment:
+                assignment[edge.destination] = destination_node
+                added.append(edge.destination)
+            yield from self._extend(assignment, order, position + 1)
+            for variable in added:
+                del assignment[variable]
+
+    def _candidate_pairs(
+        self, assignment: Dict[str, Hashable], edge: PatternEdge
+    ) -> Iterator[Tuple[Hashable, Hashable]]:
+        source_bound = assignment.get(edge.source)
+        destination_bound = assignment.get(edge.destination)
+        if source_bound is not None and destination_bound is not None:
+            if self.graph.has_edge(source_bound, destination_bound, edge.label or None):
+                yield source_bound, destination_bound
+            return
+        if source_bound is not None:
+            for destination, label in self.graph.successors(source_bound).items():
+                if not edge.label or label == edge.label:
+                    yield source_bound, destination
+            return
+        if destination_bound is not None:
+            for source, label in self.graph.predecessors(destination_bound).items():
+                if not edge.label or label == edge.label:
+                    yield source, destination_bound
+            return
+        for source in self.graph.nodes():
+            for destination, label in self.graph.successors(source).items():
+                if not edge.label or label == edge.label:
+                    yield source, destination
+
+    @staticmethod
+    def _conflicts(
+        assignment: Dict[str, Hashable],
+        edge: PatternEdge,
+        source_node: Hashable,
+        destination_node: Hashable,
+    ) -> bool:
+        """Enforce injectivity: distinct variables map to distinct data nodes."""
+        used = set(assignment.values())
+        source_unbound = edge.source not in assignment
+        destination_unbound = edge.destination not in assignment
+        if source_unbound and source_node in used:
+            return True
+        if destination_unbound and destination_node in used:
+            return True
+        if (
+            source_unbound
+            and destination_unbound
+            and edge.source != edge.destination
+            and source_node == destination_node
+        ):
+            return True
+        return False
+
+
+def count_subgraph_matches(graph: LabeledDiGraph, pattern: Pattern, limit: int = 1000) -> int:
+    """Convenience wrapper: count embeddings of ``pattern`` in ``graph``."""
+    return SubgraphMatcher(graph).count(pattern, limit=limit)

@@ -1,0 +1,238 @@
+"""Graph traversals implemented on the three query primitives.
+
+The paper argues (Section III) that once the three primitives are available,
+"all kinds of queries and algorithms can be supported" by following the
+specific algorithm and calling the primitives for the information needed.
+This module supplies the traversal building blocks most of those algorithms
+start from — breadth-first and depth-first orders, level structures, strongly
+connected components and topological ordering — written purely against the
+:class:`~repro.queries.primitives.GraphQueryInterface` protocol, so they run
+identically on exact stores and on sketches.
+
+On a sketch the successor sets may contain false positives; every function
+therefore accepts an optional ``node_limit`` guard so a query on a wildly
+over-approximated graph cannot run away.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.queries.primitives import GraphQueryInterface
+
+
+def bfs_order(
+    store: GraphQueryInterface,
+    start: Hashable,
+    node_limit: Optional[int] = None,
+) -> List[Hashable]:
+    """Breadth-first visit order of the nodes reachable from ``start``.
+
+    ``start`` itself is the first element.  ``node_limit`` caps the number of
+    visited nodes (useful on sketches whose successor sets over-approximate).
+    """
+    visited: Set[Hashable] = {start}
+    order: List[Hashable] = [start]
+    queue: deque = deque([start])
+    while queue:
+        if node_limit is not None and len(order) >= node_limit:
+            break
+        current = queue.popleft()
+        for neighbor in sorted(store.successor_query(current), key=repr):
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            order.append(neighbor)
+            queue.append(neighbor)
+            if node_limit is not None and len(order) >= node_limit:
+                break
+    return order
+
+
+def bfs_levels(
+    store: GraphQueryInterface,
+    start: Hashable,
+    max_depth: Optional[int] = None,
+    node_limit: Optional[int] = None,
+) -> Dict[Hashable, int]:
+    """Hop distance from ``start`` for every reachable node.
+
+    ``start`` maps to 0.  ``max_depth`` stops the expansion after that many
+    hops; ``node_limit`` caps the number of visited nodes.
+    """
+    levels: Dict[Hashable, int] = {start: 0}
+    queue: deque = deque([start])
+    while queue:
+        current = queue.popleft()
+        depth = levels[current]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in store.successor_query(current):
+            if neighbor in levels:
+                continue
+            if node_limit is not None and len(levels) >= node_limit:
+                return levels
+            levels[neighbor] = depth + 1
+            queue.append(neighbor)
+    return levels
+
+
+def dfs_order(
+    store: GraphQueryInterface,
+    start: Hashable,
+    node_limit: Optional[int] = None,
+) -> List[Hashable]:
+    """Depth-first pre-order of the nodes reachable from ``start``.
+
+    Uses an explicit stack so deep graphs do not hit the recursion limit.
+    Neighbors are expanded in a deterministic (sorted-by-repr) order so the
+    result is reproducible across runs.
+    """
+    visited: Set[Hashable] = set()
+    order: List[Hashable] = []
+    stack: List[Hashable] = [start]
+    while stack:
+        if node_limit is not None and len(order) >= node_limit:
+            break
+        current = stack.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        order.append(current)
+        neighbors = sorted(store.successor_query(current), key=repr, reverse=True)
+        for neighbor in neighbors:
+            if neighbor not in visited:
+                stack.append(neighbor)
+    return order
+
+
+def descendants(
+    store: GraphQueryInterface,
+    start: Hashable,
+    node_limit: Optional[int] = None,
+) -> Set[Hashable]:
+    """Every node reachable from ``start`` (excluding ``start`` itself)."""
+    reached = set(bfs_order(store, start, node_limit=node_limit))
+    reached.discard(start)
+    return reached
+
+
+def ancestors(
+    store: GraphQueryInterface,
+    target: Hashable,
+    node_limit: Optional[int] = None,
+) -> Set[Hashable]:
+    """Every node from which ``target`` is reachable (excluding itself).
+
+    Runs a breadth-first search over *precursor* queries, i.e. the reverse
+    graph.
+    """
+    visited: Set[Hashable] = {target}
+    queue: deque = deque([target])
+    while queue:
+        if node_limit is not None and len(visited) > node_limit:
+            break
+        current = queue.popleft()
+        for neighbor in store.precursor_query(current):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    visited.discard(target)
+    return visited
+
+
+def strongly_connected_components(
+    store: GraphQueryInterface,
+    nodes: Iterable[Hashable],
+    node_limit: Optional[int] = None,
+) -> List[Set[Hashable]]:
+    """Strongly connected components restricted to ``nodes``.
+
+    Uses the classic Kosaraju two-pass algorithm: a first depth-first pass in
+    finish-time order over the forward graph, then component extraction on the
+    reverse graph (served by precursor queries).  Only the supplied ``nodes``
+    are considered members of components, which keeps the answer well defined
+    on sketches whose neighbor sets may include hash artifacts.
+    """
+    node_list = list(nodes)
+    node_set: Set[Hashable] = set(node_list)
+
+    finish_order: List[Hashable] = []
+    visited: Set[Hashable] = set()
+    for root in node_list:
+        if root in visited:
+            continue
+        # Iterative post-order DFS over the forward graph.
+        stack: List[Tuple[Hashable, bool]] = [(root, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if expanded:
+                finish_order.append(current)
+                continue
+            if current in visited:
+                continue
+            visited.add(current)
+            stack.append((current, True))
+            for neighbor in sorted(store.successor_query(current), key=repr):
+                if neighbor in node_set and neighbor not in visited:
+                    stack.append((neighbor, False))
+            if node_limit is not None and len(visited) >= node_limit:
+                break
+
+    components: List[Set[Hashable]] = []
+    assigned: Set[Hashable] = set()
+    for root in reversed(finish_order):
+        if root in assigned:
+            continue
+        component: Set[Hashable] = set()
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in assigned:
+                continue
+            assigned.add(current)
+            component.add(current)
+            for neighbor in store.precursor_query(current):
+                if neighbor in node_set and neighbor not in assigned:
+                    stack.append(neighbor)
+        components.append(component)
+    return components
+
+
+def topological_order(
+    store: GraphQueryInterface,
+    nodes: Iterable[Hashable],
+) -> Optional[List[Hashable]]:
+    """Topological order of ``nodes``, or ``None`` when the subgraph has a cycle.
+
+    Kahn's algorithm over the subgraph induced by ``nodes``: in-degrees are
+    computed from precursor queries restricted to the node set, then nodes are
+    peeled off in zero-in-degree order.
+    """
+    node_list = list(nodes)
+    node_set: Set[Hashable] = set(node_list)
+    in_degree: Dict[Hashable, int] = {}
+    for node in node_list:
+        predecessors = {p for p in store.precursor_query(node) if p in node_set and p != node}
+        in_degree[node] = len(predecessors)
+
+    ready = deque(sorted((n for n in node_list if in_degree[n] == 0), key=repr))
+    order: List[Hashable] = []
+    while ready:
+        current = ready.popleft()
+        order.append(current)
+        for neighbor in sorted(store.successor_query(current), key=repr):
+            if neighbor not in node_set or neighbor == current:
+                continue
+            in_degree[neighbor] -= 1
+            if in_degree[neighbor] == 0:
+                ready.append(neighbor)
+    if len(order) != len(node_list):
+        return None
+    return order
+
+
+def has_cycle(store: GraphQueryInterface, nodes: Iterable[Hashable]) -> bool:
+    """True when the subgraph induced by ``nodes`` contains a directed cycle."""
+    return topological_order(store, nodes) is None

@@ -1,0 +1,143 @@
+"""Weighted path queries: Dijkstra and bottleneck paths over the primitives.
+
+The hop-count path queries live in :mod:`repro.queries.paths`; the functions
+here additionally use the *edge weights* reported by the edge-query primitive.
+Two interpretations of "weight" are common over communication graphs and both
+are provided:
+
+* :func:`dijkstra_distance` / :func:`dijkstra_path` treat the weight as a
+  cost and find cheapest paths (Dijkstra over non-negative weights);
+* :func:`widest_path_capacity` treats the weight as a capacity and finds the
+  path whose minimum edge weight is maximal (the classic bottleneck /
+  max-min path, e.g. the most heavily used route between two hosts).
+
+On a sketch, weights only over-estimate and edges can only be added, so the
+Dijkstra distance is not one-sided in general; the docstrings call this out
+and the experiments quantify it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+
+
+def _edge_cost(store: GraphQueryInterface, source: Hashable, destination: Hashable) -> float:
+    weight = store.edge_query(source, destination)
+    return 0.0 if weight == EDGE_NOT_FOUND else weight
+
+
+def dijkstra_distance(
+    store: GraphQueryInterface,
+    source: Hashable,
+    destination: Hashable,
+    max_nodes: Optional[int] = None,
+) -> Optional[float]:
+    """Cheapest-path cost from ``source`` to ``destination``, or ``None``.
+
+    Edge costs are the weights reported by the edge-query primitive (assumed
+    non-negative, which holds for the additive aggregation of the paper's
+    datasets).  ``max_nodes`` caps the number of settled nodes so queries on
+    wildly over-approximated sketches terminate.
+    """
+    distances, _ = _dijkstra(store, source, destination, max_nodes)
+    return distances.get(destination)
+
+
+def dijkstra_path(
+    store: GraphQueryInterface,
+    source: Hashable,
+    destination: Hashable,
+    max_nodes: Optional[int] = None,
+) -> Optional[List[Hashable]]:
+    """One cheapest path from ``source`` to ``destination``, or ``None``."""
+    distances, parents = _dijkstra(store, source, destination, max_nodes)
+    if destination not in distances:
+        return None
+    path = [destination]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def _dijkstra(
+    store: GraphQueryInterface,
+    source: Hashable,
+    destination: Optional[Hashable],
+    max_nodes: Optional[int],
+) -> Tuple[Dict[Hashable, float], Dict[Hashable, Hashable]]:
+    """Settled distances and parent pointers of Dijkstra from ``source``."""
+    distances: Dict[Hashable, float] = {}
+    parents: Dict[Hashable, Hashable] = {}
+    # Heap entries carry the parent that produced them so the parent of a node
+    # is fixed only when the node is settled with its final (minimal) cost.
+    frontier: List[Tuple[float, int, Hashable, Optional[Hashable]]] = [(0.0, 0, source, None)]
+    counter = 1
+    while frontier:
+        cost, _, current, via = heapq.heappop(frontier)
+        if current in distances:
+            continue
+        distances[current] = cost
+        if via is not None:
+            parents[current] = via
+        if destination is not None and current == destination:
+            break
+        if max_nodes is not None and len(distances) >= max_nodes:
+            break
+        for neighbor in store.successor_query(current):
+            if neighbor in distances:
+                continue
+            edge_cost = _edge_cost(store, current, neighbor)
+            if edge_cost < 0:
+                raise ValueError("dijkstra requires non-negative edge weights")
+            heapq.heappush(frontier, (cost + edge_cost, counter, neighbor, current))
+            counter += 1
+    return distances, parents
+
+
+def single_source_distances(
+    store: GraphQueryInterface, source: Hashable, max_nodes: Optional[int] = None
+) -> Dict[Hashable, float]:
+    """Cheapest-path cost from ``source`` to every settled node."""
+    distances, _ = _dijkstra(store, source, None, max_nodes)
+    return distances
+
+
+def widest_path_capacity(
+    store: GraphQueryInterface,
+    source: Hashable,
+    destination: Hashable,
+    max_nodes: Optional[int] = None,
+) -> Optional[float]:
+    """The best bottleneck capacity of any path from ``source`` to ``destination``.
+
+    The capacity of a path is the minimum edge weight along it; the answer is
+    the maximum capacity over all paths (``None`` when unreachable).  Because
+    sketch weights only over-estimate, the sketch answer is an upper bound of
+    the exact one.
+    """
+    best: Dict[Hashable, float] = {source: float("inf")}
+    frontier: List[Tuple[float, int, Hashable]] = [(-float("inf"), 0, source)]
+    settled: set = set()
+    counter = 1
+    while frontier:
+        negative_capacity, _, current = heapq.heappop(frontier)
+        if current in settled:
+            continue
+        settled.add(current)
+        if current == destination:
+            return -negative_capacity if current != source else float("inf")
+        if max_nodes is not None and len(settled) >= max_nodes:
+            break
+        for neighbor in store.successor_query(current):
+            if neighbor in settled:
+                continue
+            capacity = min(-negative_capacity, _edge_cost(store, current, neighbor))
+            if capacity > best.get(neighbor, -float("inf")):
+                best[neighbor] = capacity
+                heapq.heappush(frontier, (-capacity, counter, neighbor))
+                counter += 1
+    return best.get(destination) if destination in best and destination in settled else None

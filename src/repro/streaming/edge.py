@@ -1,0 +1,53 @@
+"""The stream item: a timestamped, weighted, directed edge."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+
+@dataclass(frozen=True)
+class StreamEdge:
+    """One item of a graph stream: ``(source, destination; timestamp; weight)``.
+
+    The same ``(source, destination)`` pair may appear many times in a stream;
+    the weight of the edge in the streaming graph is the SUM of all item
+    weights.  A negative weight deletes (part of) a previously inserted edge.
+    An optional ``label`` carries edge metadata (the paper labels web-NotreDame
+    edges with port/protocol for the subgraph-matching experiment).
+    """
+
+    source: Hashable
+    destination: Hashable
+    weight: float = 1.0
+    timestamp: float = 0.0
+    label: str = ""
+
+    @property
+    def key(self) -> Tuple[Hashable, Hashable]:
+        """The (source, destination) pair identifying the streaming-graph edge."""
+        return (self.source, self.destination)
+
+    def reversed(self) -> "StreamEdge":
+        """Return the same item with source and destination swapped."""
+        return StreamEdge(
+            source=self.destination,
+            destination=self.source,
+            weight=self.weight,
+            timestamp=self.timestamp,
+            label=self.label,
+        )
+
+    def with_weight(self, weight: float) -> "StreamEdge":
+        """Return a copy of this item carrying a different weight."""
+        return StreamEdge(
+            source=self.source,
+            destination=self.destination,
+            weight=weight,
+            timestamp=self.timestamp,
+            label=self.label,
+        )
+
+    def is_deletion(self) -> bool:
+        """True when the item removes weight from the streaming graph."""
+        return self.weight < 0

@@ -1,0 +1,66 @@
+"""Reading and writing graph streams as plain text.
+
+The on-disk format is one item per line::
+
+    source destination weight timestamp [label]
+
+which matches the edge-list conventions of the SNAP / KONECT datasets the
+paper evaluates on.  Comment lines start with ``#``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+
+
+def write_edge_file(stream: GraphStream, path: Union[str, Path]) -> None:
+    """Write a stream to ``path`` in the whitespace-separated edge format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# source destination weight timestamp label\n")
+        for edge in stream:
+            fields = [
+                str(edge.source),
+                str(edge.destination),
+                repr(float(edge.weight)),
+                repr(float(edge.timestamp)),
+            ]
+            if edge.label:
+                fields.append(edge.label)
+            handle.write(" ".join(fields) + "\n")
+
+
+def read_edge_file(path: Union[str, Path], name: str = "") -> GraphStream:
+    """Read a stream previously written by :func:`write_edge_file`.
+
+    Lines with only two fields are accepted as unweighted edges (weight 1,
+    timestamp equal to the line position), so raw SNAP edge lists load too.
+    """
+    path = Path(path)
+    stream = GraphStream(name=name or path.stem)
+    with path.open("r", encoding="utf-8") as handle:
+        for position, line in enumerate(handle):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise ValueError(f"malformed edge line {position}: {line!r}")
+            source, destination = fields[0], fields[1]
+            weight = float(fields[2]) if len(fields) > 2 else 1.0
+            timestamp = float(fields[3]) if len(fields) > 3 else float(position)
+            label = fields[4] if len(fields) > 4 else ""
+            stream.append(
+                StreamEdge(
+                    source=source,
+                    destination=destination,
+                    weight=weight,
+                    timestamp=timestamp,
+                    label=label,
+                )
+            )
+    return stream

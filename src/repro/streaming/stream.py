@@ -1,0 +1,181 @@
+"""The graph stream container and its summary statistics."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.streaming.edge import StreamEdge
+
+
+@dataclass
+class StreamStatistics:
+    """Aggregate facts about a graph stream, used to size sketches.
+
+    ``distinct_edges`` is ``|E|`` of the streaming graph (distinct source,
+    destination pairs), ``node_count`` is ``|V|``, and ``item_count`` is the
+    raw number of stream items (duplicates included).
+    """
+
+    item_count: int = 0
+    distinct_edges: int = 0
+    node_count: int = 0
+    total_weight: float = 0.0
+    max_out_degree: int = 0
+    max_in_degree: int = 0
+
+    @property
+    def average_multiplicity(self) -> float:
+        """Average number of stream items per distinct edge."""
+        if self.distinct_edges == 0:
+            return 0.0
+        return self.item_count / self.distinct_edges
+
+
+class GraphStream:
+    """An in-memory graph stream: an ordered sequence of :class:`StreamEdge`.
+
+    The class behaves like a sequence (iteration, ``len``, indexing) and adds
+    stream-level conveniences: statistics, ground-truth aggregation, windowed
+    slicing and node/edge enumeration.  Experiments feed a ``GraphStream`` to
+    both the sketches under test and the exact store used as reference.
+    """
+
+    def __init__(self, edges: Optional[Iterable[StreamEdge]] = None, name: str = "") -> None:
+        self.name = name
+        self._edges: List[StreamEdge] = list(edges) if edges is not None else []
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[StreamEdge]:
+        return iter(self._edges)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return GraphStream(self._edges[index], name=self.name)
+        return self._edges[index]
+
+    def append(self, edge: StreamEdge) -> None:
+        """Add one item to the end of the stream."""
+        self._edges.append(edge)
+
+    def extend(self, edges: Iterable[StreamEdge]) -> None:
+        """Add several items to the end of the stream."""
+        self._edges.extend(edges)
+
+    # -- derived views -----------------------------------------------------
+
+    def statistics(self) -> StreamStatistics:
+        """Compute |E|, |V|, item count, total weight and degree maxima."""
+        distinct: set = set()
+        nodes: set = set()
+        out_degree: Counter = Counter()
+        in_degree: Counter = Counter()
+        total_weight = 0.0
+        for edge in self._edges:
+            key = edge.key
+            if key not in distinct:
+                distinct.add(key)
+                out_degree[edge.source] += 1
+                in_degree[edge.destination] += 1
+            nodes.add(edge.source)
+            nodes.add(edge.destination)
+            total_weight += edge.weight
+        return StreamStatistics(
+            item_count=len(self._edges),
+            distinct_edges=len(distinct),
+            node_count=len(nodes),
+            total_weight=total_weight,
+            max_out_degree=max(out_degree.values(), default=0),
+            max_in_degree=max(in_degree.values(), default=0),
+        )
+
+    def nodes(self) -> List[Hashable]:
+        """Return the distinct node identifiers in first-seen order."""
+        seen: Dict[Hashable, None] = {}
+        for edge in self._edges:
+            seen.setdefault(edge.source, None)
+            seen.setdefault(edge.destination, None)
+        return list(seen)
+
+    def distinct_edge_keys(self) -> List[Tuple[Hashable, Hashable]]:
+        """Return the distinct (source, destination) pairs in first-seen order."""
+        seen: Dict[Tuple[Hashable, Hashable], None] = {}
+        for edge in self._edges:
+            seen.setdefault(edge.key, None)
+        return list(seen)
+
+    def aggregate_weights(self) -> Dict[Tuple[Hashable, Hashable], float]:
+        """Ground-truth streaming-graph weights: SUM of item weights per edge."""
+        weights: Dict[Tuple[Hashable, Hashable], float] = defaultdict(float)
+        for edge in self._edges:
+            weights[edge.key] += edge.weight
+        return dict(weights)
+
+    def successors(self) -> Dict[Hashable, set]:
+        """Ground-truth 1-hop successor sets of the streaming graph."""
+        result: Dict[Hashable, set] = defaultdict(set)
+        for edge in self._edges:
+            result[edge.source].add(edge.destination)
+        return dict(result)
+
+    def precursors(self) -> Dict[Hashable, set]:
+        """Ground-truth 1-hop precursor sets of the streaming graph."""
+        result: Dict[Hashable, set] = defaultdict(set)
+        for edge in self._edges:
+            result[edge.destination].add(edge.source)
+        return dict(result)
+
+    def node_out_weights(self) -> Dict[Hashable, float]:
+        """Ground-truth node-query answers: total out-going weight per node."""
+        result: Dict[Hashable, float] = defaultdict(float)
+        for edge in self._edges:
+            result[edge.source] += edge.weight
+        return dict(result)
+
+    def sorted_by_timestamp(self) -> "GraphStream":
+        """Return a copy of this stream ordered by item timestamp."""
+        ordered = sorted(self._edges, key=lambda edge: edge.timestamp)
+        return GraphStream(ordered, name=self.name)
+
+    def unique_edges(self) -> "GraphStream":
+        """Return a stream keeping only the first occurrence of every edge.
+
+        The paper's triangle-counting experiment de-duplicates edges because
+        TRIEST does not support multigraphs.
+        """
+        seen: set = set()
+        deduplicated: List[StreamEdge] = []
+        for edge in self._edges:
+            if edge.key not in seen:
+                seen.add(edge.key)
+                deduplicated.append(edge)
+        return GraphStream(deduplicated, name=self.name)
+
+    def window(self, start: int, size: int) -> "GraphStream":
+        """Return the sub-stream of ``size`` items beginning at index ``start``."""
+        if start < 0 or size < 0:
+            raise ValueError("start and size must be non-negative")
+        return GraphStream(self._edges[start:start + size], name=self.name)
+
+
+def stream_from_pairs(
+    pairs: Sequence[Tuple[Hashable, Hashable]],
+    weights: Optional[Sequence[float]] = None,
+    name: str = "",
+) -> GraphStream:
+    """Build a stream from bare (source, destination) pairs.
+
+    Timestamps are the item positions; weights default to 1.
+    """
+    edges = []
+    for position, (source, destination) in enumerate(pairs):
+        weight = 1.0 if weights is None else float(weights[position])
+        edges.append(
+            StreamEdge(source=source, destination=destination, weight=weight, timestamp=float(position))
+        )
+    return GraphStream(edges, name=name)

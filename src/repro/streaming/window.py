@@ -1,0 +1,59 @@
+"""Windowing utilities over graph streams.
+
+The subgraph-matching experiment (Figure 15) evaluates queries inside fixed
+size windows of the stream; troubleshooting use cases similarly analyse the
+most recent communication records.  These helpers slice a stream into count
+based windows without copying items more than once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+
+
+class SlidingWindow:
+    """A count-based sliding window over a graph stream.
+
+    ``size`` is the number of most-recent items kept; ``push`` returns the item
+    that fell out of the window (if any), which callers use to issue deletion
+    updates against a sketch.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self.size = size
+        self._items: List[StreamEdge] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[StreamEdge]:
+        return iter(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """True once the window holds ``size`` items."""
+        return len(self._items) >= self.size
+
+    def push(self, edge: StreamEdge):
+        """Add an item; return the evicted item or ``None``."""
+        self._items.append(edge)
+        if len(self._items) > self.size:
+            return self._items.pop(0)
+        return None
+
+    def to_stream(self, name: str = "") -> GraphStream:
+        """Materialize the current window contents as a :class:`GraphStream`."""
+        return GraphStream(list(self._items), name=name)
+
+
+def tumbling_windows(stream: GraphStream, size: int) -> Iterator[GraphStream]:
+    """Yield consecutive non-overlapping windows of ``size`` items."""
+    if size <= 0:
+        raise ValueError("window size must be positive")
+    for start in range(0, len(stream), size):
+        yield stream.window(start, size)

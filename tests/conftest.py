@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.datasets.registry import load_dataset
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+
+
+@pytest.fixture()
+def paper_stream() -> GraphStream:
+    """The 15-item example stream of Figure 1 in the paper."""
+    items = [
+        ("a", "b", 1), ("a", "c", 1), ("b", "d", 1), ("a", "c", 1), ("a", "f", 1),
+        ("c", "f", 1), ("a", "e", 1), ("a", "c", 3), ("c", "f", 1), ("d", "a", 1),
+        ("d", "f", 1), ("f", "e", 3), ("a", "g", 1), ("e", "b", 2), ("d", "a", 1),
+    ]
+    return GraphStream(
+        [
+            StreamEdge(source=s, destination=d, weight=float(w), timestamp=float(i))
+            for i, (s, d, w) in enumerate(items)
+        ],
+        name="figure1",
+    )
+
+
+@pytest.fixture()
+def small_stream() -> GraphStream:
+    """A small but non-trivial synthetic stream (communication analog)."""
+    return load_dataset("email-EuAll", scale=0.05)
+
+
+@pytest.fixture()
+def medium_stream() -> GraphStream:
+    """A medium synthetic stream used by the slower integration tests."""
+    return load_dataset("email-EuAll", scale=0.15)
+
+
+@pytest.fixture()
+def small_gss(small_stream) -> GSS:
+    """A GSS sized for the small stream, fully ingested."""
+    stats = small_stream.statistics()
+    config = GSSConfig.for_edge_count(
+        stats.distinct_edges, sequence_length=8, candidate_buckets=8
+    )
+    sketch = GSS(config)
+    sketch.ingest(small_stream)
+    return sketch

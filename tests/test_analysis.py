@@ -1,0 +1,151 @@
+"""Unit tests for the Section VI analytical models."""
+
+import math
+
+import pytest
+
+from repro.analysis.buffer_model import (
+    bucket_availability_probability,
+    expected_buffer_fraction,
+    insertion_failure_probability,
+)
+from repro.analysis.collision import (
+    edge_collision_probability,
+    edge_query_correct_rate,
+    gss_hash_range,
+    node_collision_free_probability,
+    precursor_query_correct_rate,
+    successor_query_correct_rate,
+    tcm_hash_range,
+)
+from repro.analysis.figure3 import figure3_series, minimum_ratio_for_accuracy
+
+
+class TestCollisionFormulas:
+    def test_paper_worked_example(self):
+        """Section VI-C: F=256, m=1000, |E|=5e5, D=200 -> P ~= 0.9992."""
+        M = gss_hash_range(1000, 8)
+        rate = edge_query_correct_rate(M, 5e5, 200)
+        assert rate == pytest.approx(0.9992, abs=2e-4)
+
+    def test_paper_tcm_comparison(self):
+        """Same matrix for TCM (M = m = 1000) gives about 0.497 in the paper."""
+        rate = edge_query_correct_rate(tcm_hash_range(1000), 5e5, 200)
+        assert rate == pytest.approx(0.497, abs=0.02)
+
+    def test_correct_rate_monotone_in_M(self):
+        rates = [edge_query_correct_rate(M, 1e5, 50) for M in (1e3, 1e4, 1e5, 1e6)]
+        assert rates == sorted(rates)
+
+    def test_correct_rate_decreases_with_edges(self):
+        assert edge_query_correct_rate(1e4, 1e6, 10) < edge_query_correct_rate(1e4, 1e4, 10)
+
+    def test_collision_probability_complementary(self):
+        assert edge_collision_probability(1e4, 1e5, 10) == pytest.approx(
+            1 - edge_query_correct_rate(1e4, 1e5, 10)
+        )
+
+    def test_node_collision_free_probability(self):
+        assert node_collision_free_probability(1e6, 1) == 1.0
+        value = node_collision_free_probability(1000, 1001)
+        assert value == pytest.approx(math.exp(-1), rel=1e-6)
+
+    def test_successor_rate_below_edge_rate(self):
+        M, V, E = 1e6, 1e5, 5e5
+        assert successor_query_correct_rate(M, V, E, 8) <= edge_query_correct_rate(M, E, 8)
+
+    def test_precursor_equals_successor(self):
+        assert precursor_query_correct_rate(1e6, 1e5, 5e5, 8) == successor_query_correct_rate(
+            1e6, 1e5, 5e5, 8
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            edge_query_correct_rate(0, 10)
+        with pytest.raises(ValueError):
+            edge_query_correct_rate(10, -1)
+        with pytest.raises(ValueError):
+            edge_query_correct_rate(10, 5, 6)
+        with pytest.raises(ValueError):
+            gss_hash_range(0, 8)
+        with pytest.raises(ValueError):
+            tcm_hash_range(-1)
+
+
+class TestBufferModel:
+    def test_paper_worked_example(self):
+        """Section VI-D: N=1e6, D=1e4, m=1000, r=8, l=3, k=8 -> about 0.002."""
+        probability = insertion_failure_probability(
+            stored_edges=1_000_000,
+            adjacent_edges=10_000,
+            matrix_width=1000,
+            sequence_length=8,
+            rooms=3,
+            candidate_buckets=8,
+        )
+        assert probability == pytest.approx(0.002, abs=0.003)
+
+    def test_empty_matrix_never_fails(self):
+        assert insertion_failure_probability(0, 0, 100, 8, 2, 8) == pytest.approx(0.0, abs=1e-12)
+
+    def test_more_candidates_reduce_failure(self):
+        few = insertion_failure_probability(50_000, 500, 200, 8, 2, 2)
+        many = insertion_failure_probability(50_000, 500, 200, 8, 2, 16)
+        assert many <= few
+
+    def test_more_rooms_reduce_failure(self):
+        one = insertion_failure_probability(50_000, 500, 200, 8, 1, 8)
+        two = insertion_failure_probability(50_000, 500, 200, 8, 2, 8)
+        assert two <= one
+
+    def test_availability_is_probability(self):
+        value = bucket_availability_probability(10_000, 100, 100, 8, 2)
+        assert 0.0 <= value <= 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bucket_availability_probability(10, 20, 100, 8, 2)
+        with pytest.raises(ValueError):
+            bucket_availability_probability(10, 5, 0, 8, 2)
+        with pytest.raises(ValueError):
+            insertion_failure_probability(10, 5, 10, 8, 2, 0)
+
+    def test_expected_buffer_fraction_small_when_matrix_large(self):
+        fraction = expected_buffer_fraction(
+            total_edges=10_000,
+            matrix_width=110,          # ~ sqrt(10_000 / 2) * 1.5
+            sequence_length=8,
+            rooms=2,
+            candidate_buckets=8,
+        )
+        assert fraction < 0.05
+
+    def test_expected_buffer_fraction_zero_for_empty_stream(self):
+        assert expected_buffer_fraction(0, 10, 4, 2, 4) == 0.0
+
+
+class TestFigure3:
+    def test_panels_present(self):
+        series = figure3_series(node_count=10_000)
+        assert set(series) == {"edge_query", "successor_query", "precursor_query"}
+        assert len(series["edge_query"]) == len(series["successor_query"])
+
+    def test_edge_query_accuracy_high_even_at_small_ratio(self):
+        series = figure3_series(node_count=10_000)
+        small_ratio = [p for p in series["edge_query"] if p.ratio == 0.25 and p.degree == 1]
+        assert small_ratio[0].correct_rate > 0.9
+
+    def test_successor_accuracy_needs_large_ratio(self):
+        """The paper's reading of Figure 3: >80% accuracy needs M/|V| in the hundreds."""
+        ratio = minimum_ratio_for_accuracy(target=0.8, node_count=100_000, degree=8)
+        assert ratio >= 64
+
+    def test_accuracy_monotone_in_ratio(self):
+        series = figure3_series(node_count=10_000)
+        degree_8 = [p for p in series["successor_query"] if p.degree == 8]
+        rates = [p.correct_rate for p in sorted(degree_8, key=lambda p: p.ratio)]
+        assert rates == sorted(rates)
+
+    def test_rejects_bad_node_count(self):
+        with pytest.raises(ValueError):
+            figure3_series(node_count=0)

@@ -1,0 +1,85 @@
+"""Unit tests for the left-over buffer and the reverse node index."""
+
+from repro.core.buffer import LeftoverBuffer
+from repro.core.reverse_index import NodeIndex
+
+
+class TestLeftoverBuffer:
+    def test_empty(self):
+        buffer = LeftoverBuffer()
+        assert len(buffer) == 0
+        assert not buffer
+        assert buffer.get(1, 2) is None
+        assert not buffer.contains(1, 2)
+
+    def test_add_and_query(self):
+        buffer = LeftoverBuffer()
+        buffer.add(10, 20, 2.0)
+        assert buffer.contains(10, 20)
+        assert buffer.weight(10, 20) == 2.0
+        assert len(buffer) == 1
+
+    def test_weights_accumulate(self):
+        buffer = LeftoverBuffer()
+        buffer.add(10, 20, 2.0)
+        buffer.add(10, 20, 3.0)
+        assert buffer.weight(10, 20) == 5.0
+        assert len(buffer) == 1  # still one distinct edge
+
+    def test_successors_and_precursors(self):
+        buffer = LeftoverBuffer()
+        buffer.add(1, 2, 1.0)
+        buffer.add(1, 3, 1.0)
+        buffer.add(4, 2, 1.0)
+        assert set(buffer.successors_of(1)) == {2, 3}
+        assert set(buffer.precursors_of(2)) == {1, 4}
+        assert buffer.successors_of(99) == []
+
+    def test_edges_iteration(self):
+        buffer = LeftoverBuffer()
+        buffer.add(1, 2, 1.0)
+        buffer.add(3, 4, 2.0)
+        assert sorted(buffer.edges()) == [(1, 2, 1.0), (3, 4, 2.0)]
+
+    def test_memory_model(self):
+        buffer = LeftoverBuffer()
+        buffer.add(1, 2, 1.0)
+        buffer.add(3, 4, 2.0)
+        assert buffer.memory_bytes() == 32
+
+
+class TestNodeIndex:
+    def test_record_and_lookup(self):
+        index = NodeIndex()
+        index.record("a", 42)
+        assert "a" in index
+        assert index.hash_of("a") == 42
+        assert index.originals(42) == {"a"}
+        assert len(index) == 1
+
+    def test_duplicate_record_is_ignored(self):
+        index = NodeIndex()
+        index.record("a", 42)
+        index.record("a", 42)
+        assert len(index) == 1
+
+    def test_collisions_tracked(self):
+        index = NodeIndex()
+        index.record("a", 7)
+        index.record("b", 7)
+        index.record("c", 8)
+        assert index.originals(7) == {"a", "b"}
+        assert index.collision_count() == 2
+
+    def test_expand(self):
+        index = NodeIndex()
+        index.record("a", 1)
+        index.record("b", 2)
+        assert index.expand([1, 2, 3]) == {"a", "b"}
+
+    def test_known_nodes_and_memory(self):
+        index = NodeIndex()
+        index.record("a", 1)
+        index.record("b", 2)
+        assert set(index.known_nodes()) == {"a", "b"}
+        assert index.memory_bytes() == 32

@@ -1,0 +1,50 @@
+"""Tests for the command-line front-end."""
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+
+
+class TestParser:
+    def test_experiment_choices_cover_all_artifacts(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8"])
+        assert args.experiment == "fig8"
+        for name in ("fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "tab1", "fig14", "fig15"):
+            assert parser.parse_args([name]).experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_config_from_args_quick(self):
+        args = build_parser().parse_args(["fig8", "--quick"])
+        config = config_from_args(args)
+        assert config.dataset_scale < 0.1
+
+    def test_config_from_args_scale_and_datasets(self):
+        args = build_parser().parse_args(
+            ["fig8", "--scale", "0.5", "--datasets", "cit-HepPh"]
+        )
+        config = config_from_args(args)
+        assert config.dataset_scale == 0.5
+        assert config.datasets == ("cit-HepPh",)
+
+    def test_quick_and_paper_scale_exclusive(self):
+        args = build_parser().parse_args(["fig8", "--quick", "--paper-scale"])
+        with pytest.raises(SystemExit):
+            config_from_args(args)
+
+
+class TestMain:
+    def test_fig3_prints_table(self, capsys):
+        assert main(["fig3", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "fig3" in output
+        assert "correct_rate" in output
+
+    def test_fig13_quick_run(self, capsys):
+        assert main(["fig13", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Room=2" in output
+        assert "NoSquareHash" in output

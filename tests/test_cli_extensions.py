@@ -1,0 +1,52 @@
+"""Tests for the CLI's extension sub-commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _EXTENSION_RUNNERS, _PAPER_RUNNERS, build_parser, main
+
+
+class TestExtensionParser:
+    def test_extension_choices_registered(self):
+        parser = build_parser()
+        for name in ("window", "partition", "changers", "algorithms", "memory",
+                     "ablation-fingerprint", "ablation-sequence", "ablation-candidates",
+                     "ablation-rooms"):
+            assert parser.parse_args([name]).experiment == name
+
+    def test_extensions_pseudo_experiment_accepted(self):
+        assert build_parser().parse_args(["extensions"]).experiment == "extensions"
+
+    def test_paper_and_extension_registries_disjoint(self):
+        assert not set(_PAPER_RUNNERS) & set(_EXTENSION_RUNNERS)
+
+    def test_every_registered_runner_is_callable(self):
+        for runner in {**_PAPER_RUNNERS, **_EXTENSION_RUNNERS}.values():
+            assert callable(runner)
+
+
+class TestExtensionExecution:
+    def test_memory_subcommand_quick(self, capsys):
+        exit_code = main(["memory", "--quick"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "memory footprint" in output
+        assert "gss_bytes" in output
+
+    def test_partition_subcommand_quick(self, capsys):
+        exit_code = main(["partition", "--quick"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "partition" in output
+
+    def test_all_does_not_include_extensions(self, capsys):
+        # 'all' is reserved for the paper artifacts so its runtime stays
+        # predictable; extension studies have their own pseudo-experiment.
+        parser = build_parser()
+        args = parser.parse_args(["all"])
+        assert args.experiment == "all"
+
+    def test_unknown_subcommand_still_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])

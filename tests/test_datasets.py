@@ -1,0 +1,144 @@
+"""Unit tests for the Zipf sampler and the synthetic dataset generators."""
+
+import random
+
+import pytest
+
+from repro.datasets.registry import DATASET_SPECS, list_datasets, load_dataset
+from repro.datasets.synthetic import (
+    SyntheticGraphSpec,
+    citation_stream,
+    communication_stream,
+    labeled_stream,
+    power_law_stream,
+    unreachable_pairs,
+    web_stream,
+)
+from repro.datasets.zipf import ZipfSampler, zipf_ranks, zipf_weights
+
+
+class TestZipf:
+    def test_values_within_support(self):
+        sampler = ZipfSampler(exponent=1.5, support=10, rng=random.Random(1))
+        assert all(1 <= v <= 10 for v in sampler.sample_many(500))
+
+    def test_skew_prefers_small_ranks(self):
+        sampler = ZipfSampler(exponent=2.0, support=100, rng=random.Random(2))
+        draws = sampler.sample_many(2000)
+        assert draws.count(1) > draws.count(10) > 0 or draws.count(10) == 0
+
+    def test_zipf_weights_are_floats(self):
+        weights = zipf_weights(50, seed=3)
+        assert len(weights) == 50
+        assert all(isinstance(w, float) and w >= 1.0 for w in weights)
+
+    def test_zipf_ranks_picks_from_population(self):
+        population = ["a", "b", "c", "d"]
+        picks = zipf_ranks(population, 100, seed=4)
+        assert set(picks) <= set(population)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(exponent=0)
+        with pytest.raises(ValueError):
+            ZipfSampler(support=0)
+
+
+class TestSyntheticGenerators:
+    def test_power_law_stream_basic_shape(self):
+        spec = SyntheticGraphSpec(name="t", node_count=200, edge_count=600, seed=1)
+        stream = power_law_stream(spec)
+        stats = stream.statistics()
+        assert stats.distinct_edges <= 600
+        assert stats.distinct_edges > 300
+        assert stats.node_count <= 200
+        assert stats.item_count >= stats.distinct_edges
+
+    def test_power_law_stream_deterministic(self):
+        spec = SyntheticGraphSpec(name="t", node_count=100, edge_count=300, seed=9)
+        first = power_law_stream(spec).aggregate_weights()
+        second = power_law_stream(spec).aggregate_weights()
+        assert first == second
+
+    def test_power_law_degrees_are_skewed(self):
+        spec = SyntheticGraphSpec(name="t", node_count=400, edge_count=2000, seed=5)
+        stats = power_law_stream(spec).statistics()
+        average_degree = stats.distinct_edges / stats.node_count
+        assert stats.max_out_degree > 4 * average_degree
+
+    def test_communication_stream_has_duplicates(self):
+        stream = communication_stream(200, 600, seed=7, duplication=2.0)
+        stats = stream.statistics()
+        assert stats.item_count > stats.distinct_edges
+
+    def test_citation_stream_cites_earlier_nodes(self):
+        stream = citation_stream(300, 1200, seed=11)
+        for edge in list(stream)[:200]:
+            assert int(edge.source[1:]) > int(edge.destination[1:])
+
+    def test_web_stream_no_self_loops(self):
+        stream = web_stream(300, 1000, seed=13)
+        assert all(edge.source != edge.destination for edge in stream)
+
+    def test_labeled_stream_consistent_labels(self):
+        stream = labeled_stream(communication_stream(100, 300, seed=3), label_count=4)
+        labels = {}
+        for edge in stream:
+            labels.setdefault(edge.key, edge.label)
+            assert edge.label == labels[edge.key]
+            assert edge.label.startswith("L")
+
+    def test_unreachable_pairs_are_unreachable(self):
+        stream = citation_stream(150, 400, seed=17)
+        successors = stream.successors()
+        pairs = unreachable_pairs(stream, 10, seed=19)
+        assert pairs
+        # verify by BFS on the ground truth
+        from collections import deque
+
+        for source, destination in pairs:
+            seen = {source}
+            queue = deque([source])
+            while queue:
+                current = queue.popleft()
+                for neighbor in successors.get(current, ()):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        queue.append(neighbor)
+            assert destination not in seen
+
+
+class TestRegistry:
+    def test_lists_all_five_paper_datasets(self):
+        names = list_datasets()
+        assert names == [
+            "email-EuAll",
+            "cit-HepPh",
+            "web-NotreDame",
+            "lkml-reply",
+            "caida-networkflow",
+        ]
+
+    def test_load_dataset_scales(self):
+        small = load_dataset("cit-HepPh", scale=0.05)
+        larger = load_dataset("cit-HepPh", scale=0.1)
+        assert larger.statistics().distinct_edges > small.statistics().distinct_edges
+
+    def test_load_dataset_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+    def test_load_dataset_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("cit-HepPh", scale=0)
+
+    def test_specs_describe(self):
+        description = DATASET_SPECS["email-EuAll"].describe()
+        assert "email-EuAll" in description
+        assert "420045" in description
+
+    def test_analogs_preserve_duplication_character(self):
+        # lkml-reply and caida analogs are heavy on repeated edges; cit-HepPh is not.
+        lkml = load_dataset("lkml-reply", scale=0.1).statistics()
+        cit = load_dataset("cit-HepPh", scale=0.1).statistics()
+        assert lkml.average_multiplicity > cit.average_multiplicity

@@ -1,0 +1,165 @@
+"""Tests for degree statistics and PageRank over the query primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.queries.degree import (
+    average_out_degree,
+    degree_skewness,
+    degree_table,
+    in_degree,
+    in_degree_distribution,
+    out_degree,
+    out_degree_distribution,
+    top_k_by_in_degree,
+    top_k_by_out_degree,
+    total_degree,
+)
+from repro.queries.pagerank import (
+    materialize_successors,
+    pagerank,
+    personalized_pagerank,
+    ranking_overlap,
+    top_k_ranked,
+)
+
+
+def star_store() -> AdjacencyListGraph:
+    """hub -> leaf0..leaf3, plus leaf0 -> leaf1."""
+    store = AdjacencyListGraph()
+    for index in range(4):
+        store.update("hub", f"leaf{index}")
+    store.update("leaf0", "leaf1")
+    return store
+
+
+STAR_NODES = ["hub", "leaf0", "leaf1", "leaf2", "leaf3"]
+
+
+class TestDegree:
+    def test_out_degree(self):
+        assert out_degree(star_store(), "hub") == 4
+        assert out_degree(star_store(), "leaf2") == 0
+
+    def test_in_degree(self):
+        assert in_degree(star_store(), "leaf1") == 2
+        assert in_degree(star_store(), "hub") == 0
+
+    def test_total_degree(self):
+        assert total_degree(star_store(), "leaf0") == 1 + 1
+
+    def test_degree_table(self):
+        table = degree_table(star_store(), STAR_NODES)
+        assert table["hub"] == (4, 0)
+        assert table["leaf1"] == (0, 2)
+
+    def test_top_k_by_out_degree(self):
+        top = top_k_by_out_degree(star_store(), STAR_NODES, 2)
+        assert top[0] == ("hub", 4)
+        assert len(top) == 2
+
+    def test_top_k_by_in_degree(self):
+        top = top_k_by_in_degree(star_store(), STAR_NODES, 1)
+        assert top[0] == ("leaf1", 2)
+
+    def test_top_k_rejects_negative(self):
+        with pytest.raises(ValueError):
+            top_k_by_out_degree(star_store(), STAR_NODES, -1)
+        with pytest.raises(ValueError):
+            top_k_by_in_degree(star_store(), STAR_NODES, -1)
+
+    def test_out_degree_distribution(self):
+        distribution = out_degree_distribution(star_store(), STAR_NODES)
+        assert distribution[4] == 1      # the hub
+        assert distribution[0] == 3      # leaf1..leaf3
+
+    def test_in_degree_distribution(self):
+        distribution = in_degree_distribution(star_store(), STAR_NODES)
+        assert distribution[2] == 1      # leaf1
+
+    def test_average_out_degree(self):
+        assert average_out_degree(star_store(), STAR_NODES) == pytest.approx(1.0)
+        assert average_out_degree(star_store(), []) == 0.0
+
+    def test_degree_skewness(self):
+        distribution = {4: 1, 1: 1, 0: 3}
+        assert degree_skewness(distribution) == pytest.approx(4 / 1.0)
+        assert degree_skewness({}) == 0.0
+        assert degree_skewness({0: 5}) == 0.0
+
+    def test_sketch_degrees_upper_bound_truth(self, small_stream):
+        stats = small_stream.statistics()
+        sketch = GSS(
+            GSSConfig.for_edge_count(stats.distinct_edges, sequence_length=4, candidate_buckets=4)
+        ).ingest(small_stream)
+        successors = small_stream.successors()
+        for node in list(successors)[:50]:
+            assert out_degree(sketch, node) >= len(successors[node])
+
+
+class TestPageRank:
+    def test_materialize_restricts_to_node_set(self):
+        adjacency = materialize_successors(star_store(), ["hub", "leaf0"])
+        assert adjacency["hub"] == ["leaf0"]
+
+    def test_ranks_sum_to_one(self):
+        ranks = pagerank(star_store(), STAR_NODES)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_popular_target_ranks_highest(self):
+        ranks = pagerank(star_store(), STAR_NODES)
+        assert max(ranks, key=ranks.get) == "leaf1"
+
+    def test_empty_node_set(self):
+        assert pagerank(star_store(), []) == {}
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(star_store(), STAR_NODES, damping=1.0)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            pagerank(star_store(), STAR_NODES, iterations=0)
+
+    def test_personalized_prefers_seed_neighborhood(self):
+        ranks = personalized_pagerank(star_store(), STAR_NODES, seeds=["hub"])
+        assert ranks["hub"] > ranks["leaf3"] or ranks["leaf1"] > ranks["leaf3"]
+
+    def test_personalized_requires_seeds(self):
+        with pytest.raises(ValueError):
+            personalized_pagerank(star_store(), STAR_NODES, seeds=[])
+
+    def test_personalization_with_no_mass_raises(self):
+        with pytest.raises(ValueError):
+            pagerank(star_store(), STAR_NODES, personalization={"not-a-node": 1.0})
+
+    def test_top_k_ranked(self):
+        ranks = {"a": 0.5, "b": 0.3, "c": 0.2}
+        assert top_k_ranked(ranks, 2) == [("a", 0.5), ("b", 0.3)]
+        with pytest.raises(ValueError):
+            top_k_ranked(ranks, -1)
+
+    def test_ranking_overlap(self):
+        reference = {"a": 0.5, "b": 0.3, "c": 0.2}
+        estimate = {"a": 0.3, "c": 0.45, "b": 0.25}
+        assert ranking_overlap(reference, estimate, 1) == 0.0
+        assert ranking_overlap(reference, estimate, 3) == 1.0
+        with pytest.raises(ValueError):
+            ranking_overlap(reference, estimate, 0)
+
+    def test_sketch_ranking_agrees_with_exact(self, small_stream):
+        exact = AdjacencyListGraph()
+        for edge in small_stream:
+            exact.update(edge.source, edge.destination, edge.weight)
+        stats = small_stream.statistics()
+        sketch = GSS(
+            GSSConfig.for_edge_count(stats.distinct_edges, sequence_length=4, candidate_buckets=4)
+        ).ingest(small_stream)
+        nodes = small_stream.nodes()[:120]
+        exact_ranks = pagerank(exact, nodes, iterations=15)
+        sketch_ranks = pagerank(sketch, nodes, iterations=15)
+        assert ranking_overlap(exact_ranks, sketch_ranks, 10) >= 0.5

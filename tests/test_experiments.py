@@ -1,0 +1,161 @@
+"""Integration tests: every experiment runner produces the paper's shape.
+
+These use the ``quick`` configuration (tiny analogs) so they run in seconds;
+the benchmarks under ``benchmarks/`` run the same code at the default scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_table,
+    run_buffer_experiment,
+    run_edge_query_experiment,
+    run_figure3,
+    run_node_query_experiment,
+    run_precursor_experiment,
+    run_reachability_experiment,
+    run_subgraph_experiment,
+    run_successor_experiment,
+    run_triangle_experiment,
+    run_update_speed_experiment,
+)
+from repro.experiments.config import load_streams
+from repro.experiments.report import ExperimentResult
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ExperimentConfig.quick()
+
+
+class TestConfig:
+    def test_quick_and_paper_scale_presets(self):
+        quick = ExperimentConfig.quick()
+        paper = ExperimentConfig.paper_scale()
+        assert quick.dataset_scale < paper.dataset_scale
+        assert len(paper.datasets) == 5
+
+    def test_recommended_width_covers_edges(self, quick_config):
+        [(_, stream)] = load_streams(quick_config)
+        statistics = stream.statistics()
+        width = quick_config.recommended_width(statistics)
+        assert width ** 2 * quick_config.rooms >= statistics.distinct_edges
+
+    def test_sample_items_deterministic(self, quick_config):
+        items = list(range(1000))
+        first = quick_config.sample_items(items)
+        second = quick_config.sample_items(items)
+        assert first == second
+        assert len(first) == quick_config.query_sample
+
+    def test_sample_items_passthrough_when_small(self, quick_config):
+        assert quick_config.sample_items([1, 2, 3]) == [1, 2, 3]
+
+    def test_build_tcm_memory_budget(self, quick_config):
+        gss = quick_config.build_gss(20, 16)
+        tcm = quick_config.build_tcm(gss, 8.0)
+        assert tcm.memory_bytes() <= 8 * gss.config.matrix_memory_bytes() * 1.2
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 2.5, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_result_helpers(self):
+        result = ExperimentResult(experiment="x", description="demo")
+        result.add(dataset="d", value=1.0)
+        result.add(dataset="e", value=2.0)
+        assert result.filter(dataset="d") == [{"dataset": "d", "value": 1.0}]
+        assert result.column("value") == [1.0, 2.0]
+        assert "demo" in result.to_text()
+
+
+class TestFigure3Runner:
+    def test_rows_and_claim(self):
+        result = run_figure3()
+        assert len(result.rows) > 100
+        # the paper's reading: small M/|V| makes successor queries useless
+        low = [
+            row["correct_rate"]
+            for row in result.filter(panel="successor_query", ratio=1)
+            if row["degree"] >= 8
+        ]
+        assert all(rate < 0.1 for rate in low)
+
+
+class TestAccuracyRunners:
+    def test_edge_query_gss_beats_tcm(self, quick_config):
+        result = run_edge_query_experiment(quick_config)
+        gss_are = max(r["are"] for r in result.rows if r["structure"].startswith("GSS"))
+        tcm_are = min(r["are"] for r in result.rows if r["structure"].startswith("TCM"))
+        assert gss_are <= tcm_are + 1e-9
+        assert all(row["are"] >= 0 for row in result.rows)
+
+    def test_successor_gss_beats_tcm(self, quick_config):
+        result = run_successor_experiment(quick_config)
+        gss = min(r["precision"] for r in result.rows if r["structure"].startswith("GSS"))
+        tcm = max(r["precision"] for r in result.rows if r["structure"].startswith("TCM"))
+        assert gss >= tcm - 1e-9
+        assert gss > 0.9
+
+    def test_precursor_gss_beats_tcm(self, quick_config):
+        result = run_precursor_experiment(quick_config)
+        gss = min(r["precision"] for r in result.rows if r["structure"].startswith("GSS"))
+        tcm = max(r["precision"] for r in result.rows if r["structure"].startswith("TCM"))
+        assert gss >= tcm - 1e-9
+
+    def test_node_query_gss_beats_tcm(self, quick_config):
+        result = run_node_query_experiment(quick_config)
+        gss = max(r["are"] for r in result.rows if r["structure"].startswith("GSS"))
+        tcm = min(r["are"] for r in result.rows if r["structure"].startswith("TCM"))
+        assert gss <= tcm + 1e-9
+
+    def test_reachability_gss_at_least_tcm(self, quick_config):
+        result = run_reachability_experiment(quick_config)
+        gss = min(
+            r["true_negative_recall"] for r in result.rows if r["structure"].startswith("GSS")
+        )
+        tcm = max(
+            r["true_negative_recall"] for r in result.rows if r["structure"].startswith("TCM")
+        )
+        assert gss >= tcm - 1e-9
+
+
+class TestStructureRunners:
+    def test_buffer_ablation_ordering(self, quick_config):
+        result = run_buffer_experiment(quick_config)
+        assert len(result.rows) == 4 * len(result.filter(configuration="Room=2"))
+        for row_with in result.filter(configuration="Room=2"):
+            matching = [
+                row
+                for row in result.filter(configuration="Room=2(NoSquareHash)")
+                if row["dataset"] == row_with["dataset"] and row["width"] == row_with["width"]
+            ]
+            assert matching and row_with["buffer_pct"] <= matching[0]["buffer_pct"] + 1e-9
+
+    def test_update_speed_rows(self, quick_config):
+        result = run_update_speed_experiment(quick_config)
+        structures = {row["structure"] for row in result.rows}
+        assert structures == {"GSS", "GSS(no sampling)", "TCM", "Adjacency Lists"}
+        assert all(row["edges_per_second"] > 0 for row in result.rows)
+
+    def test_triangle_runner(self, quick_config):
+        result = run_triangle_experiment(quick_config)
+        gss_errors = [r["relative_error"] for r in result.rows if r["structure"] == "GSS"]
+        assert gss_errors and all(error < 0.2 for error in gss_errors)
+
+    def test_subgraph_runner(self, quick_config):
+        result = run_subgraph_experiment(quick_config)
+        assert result.rows
+        exact_rates = [r["correct_rate"] for r in result.rows if "exact" in r["structure"]]
+        gss_rates = [r["correct_rate"] for r in result.rows if r["structure"] == "GSS"]
+        assert all(rate == 1.0 for rate in exact_rates)
+        assert all(rate >= 0.8 for rate in gss_rates)

@@ -1,0 +1,114 @@
+"""Integration tests for the extension experiments (window, partition, ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_algorithm_agreement_experiment,
+    run_heavy_changer_experiment,
+    run_memory_experiment,
+    run_partition_experiment,
+    run_window_experiment,
+)
+from repro.experiments.report import ExperimentResult
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    config = ExperimentConfig.quick()
+    config.extras["partition_counts"] = (1, 2)
+    config.extras["window_span_fractions"] = (0.5, 1.0)
+    config.extras["algorithm_node_cap"] = 80
+    config.extras["changer_top_k"] = 5
+    config.extras["burst_edges"] = 3
+    return config
+
+
+class TestWindowExperiment:
+    def test_produces_rows_per_span(self, quick_config):
+        result = run_window_experiment(quick_config)
+        assert isinstance(result, ExperimentResult)
+        spans = {row["span_fraction"] for row in result.rows}
+        assert spans == {0.5, 1.0}
+
+    def test_full_window_is_reasonably_precise(self, quick_config):
+        result = run_window_experiment(quick_config)
+        full = result.filter(span_fraction=1.0)
+        assert full
+        for row in full:
+            assert 0.0 <= row["successor_precision"] <= 1.0
+            assert row["edge_are"] >= 0.0
+            assert row["live_slices"] >= 1
+
+    def test_smaller_window_uses_no_more_memory(self, quick_config):
+        result = run_window_experiment(quick_config)
+        by_span = {row["span_fraction"]: row["memory_bytes"] for row in result.rows}
+        assert by_span[0.5] <= by_span[1.0] * 1.01
+
+
+class TestPartitionExperiment:
+    def test_rows_per_partition_count(self, quick_config):
+        result = run_partition_experiment(quick_config)
+        assert {row["partitions"] for row in result.rows} == {1, 2}
+
+    def test_accuracy_stays_high_when_sharded(self, quick_config):
+        result = run_partition_experiment(quick_config)
+        for row in result.rows:
+            assert row["successor_precision"] >= 0.5
+            assert row["load_imbalance"] >= 1.0
+            assert 0.0 <= row["buffer_pct"] <= 1.0
+
+
+class TestHeavyChangerExperiment:
+    def test_reports_gss_and_exact(self, quick_config):
+        result = run_heavy_changer_experiment(quick_config)
+        structures = {row["structure"] for row in result.rows}
+        assert any(label.startswith("GSS") for label in structures)
+        assert any(label.startswith("Exact") for label in structures)
+
+    def test_gss_finds_injected_burst(self, quick_config):
+        result = run_heavy_changer_experiment(quick_config)
+        gss_rows = [row for row in result.rows if row["structure"].startswith("GSS")]
+        assert gss_rows
+        for row in gss_rows:
+            assert row["burst_recall"] >= 0.5
+            assert 0.0 <= row["exact_top_k_precision"] <= 1.0
+
+
+class TestAlgorithmAgreement:
+    def test_gss_agrees_better_than_tcm(self, quick_config):
+        result = run_algorithm_agreement_experiment(quick_config)
+        gss_rows = [row for row in result.rows if row["structure"].startswith("GSS")]
+        tcm_rows = [row for row in result.rows if row["structure"].startswith("TCM")]
+        assert gss_rows and tcm_rows
+        gss_score = sum(row["pagerank_overlap"] + row["degree_overlap"] for row in gss_rows)
+        tcm_score = sum(row["pagerank_overlap"] + row["degree_overlap"] for row in tcm_rows)
+        assert gss_score >= tcm_score
+
+    def test_overlaps_are_fractions(self, quick_config):
+        result = run_algorithm_agreement_experiment(quick_config)
+        for row in result.rows:
+            assert 0.0 <= row["pagerank_overlap"] <= 1.0
+            assert 0.0 <= row["degree_overlap"] <= 1.0
+
+
+class TestMemoryExperiment:
+    def test_reports_analytical_and_measured_rows(self, quick_config):
+        result = run_memory_experiment(quick_config)
+        scopes = {row["scope"] for row in result.rows}
+        assert "paper size (analytical)" in scopes
+        assert "analog (measured sketch)" in scopes
+
+    def test_sparse_graphs_make_dense_matrix_largest(self, quick_config):
+        result = run_memory_experiment(quick_config)
+        for row in result.filter(scope="paper size (analytical)"):
+            assert row["adjacency_matrix_bytes"] > row["adjacency_list_bytes"]
+            assert row["gss_bytes"] < row["adjacency_matrix_bytes"]
+
+    def test_text_rendering(self, quick_config):
+        result = run_memory_experiment(quick_config)
+        text = result.to_text()
+        assert "memory" in text
+        assert "gss_bytes" in text

@@ -1,0 +1,138 @@
+"""Tests for the random-graph stream generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generators import (
+    barabasi_albert_stream,
+    bipartite_stream,
+    complete_graph_stream,
+    erdos_renyi_stream,
+    rmat_stream,
+    star_stream,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count(self):
+        stream = erdos_renyi_stream(100, 300, seed=1)
+        assert stream.statistics().distinct_edges == 300
+
+    def test_no_duplicates_by_default(self):
+        stream = erdos_renyi_stream(50, 200, seed=2)
+        stats = stream.statistics()
+        assert stats.item_count == stats.distinct_edges
+
+    def test_allow_duplicates(self):
+        stream = erdos_renyi_stream(10, 200, seed=3, allow_duplicates=True)
+        stats = stream.statistics()
+        assert stats.item_count >= stats.distinct_edges
+
+    def test_no_self_loops(self):
+        stream = erdos_renyi_stream(20, 100, seed=4)
+        assert all(edge.source != edge.destination for edge in stream)
+
+    def test_deterministic_under_seed(self):
+        first = erdos_renyi_stream(30, 60, seed=5)
+        second = erdos_renyi_stream(30, 60, seed=5)
+        assert [e.key for e in first] == [e.key for e in second]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_stream(1, 10)
+        with pytest.raises(ValueError):
+            erdos_renyi_stream(10, -1)
+
+
+class TestBarabasiAlbert:
+    def test_produces_edges(self):
+        stream = barabasi_albert_stream(200, edges_per_node=3, seed=6)
+        assert len(stream) > 200
+
+    def test_degree_skew(self):
+        stream = barabasi_albert_stream(300, edges_per_node=3, seed=7)
+        stats = stream.statistics()
+        average_in = stats.distinct_edges / max(1, stats.node_count)
+        assert stats.max_in_degree > 3 * average_in
+
+    def test_no_self_loops(self):
+        stream = barabasi_albert_stream(100, seed=8)
+        assert all(edge.source != edge.destination for edge in stream)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_stream(1)
+        with pytest.raises(ValueError):
+            barabasi_albert_stream(10, edges_per_node=0)
+
+
+class TestRMAT:
+    def test_item_count_close_to_requested(self):
+        stream = rmat_stream(8, 2000, seed=9)
+        # Self-loops are skipped, so the count can be slightly below target.
+        assert 0.9 * 2000 <= len(stream) <= 2000
+
+    def test_nodes_within_scale(self):
+        stream = rmat_stream(6, 500, seed=10)
+        limit = 2 ** 6
+        for edge in stream:
+            assert int(edge.source[1:]) < limit
+            assert int(edge.destination[1:]) < limit
+
+    def test_skewed_endpoints(self):
+        stream = rmat_stream(8, 4000, seed=11)
+        stats = stream.statistics()
+        assert stats.max_out_degree > 4 * stats.distinct_edges / max(1, stats.node_count)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            rmat_stream(0, 10)
+        with pytest.raises(ValueError):
+            rmat_stream(4, -1)
+        with pytest.raises(ValueError):
+            rmat_stream(4, 10, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestBipartite:
+    def test_endpoints_stay_on_their_side(self):
+        stream = bipartite_stream(20, 30, 200, seed=12)
+        for edge in stream:
+            assert edge.source.startswith("u")
+            assert edge.destination.startswith("i")
+
+    def test_item_count(self):
+        assert len(bipartite_stream(10, 10, 150, seed=13)) == 150
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            bipartite_stream(0, 10, 5)
+        with pytest.raises(ValueError):
+            bipartite_stream(10, 10, -1)
+
+
+class TestCompleteAndStar:
+    def test_complete_edge_count(self):
+        stream = complete_graph_stream(5)
+        assert len(stream) == 5 * 4
+
+    def test_complete_with_self_loops(self):
+        stream = complete_graph_stream(4, include_self_loops=True)
+        assert len(stream) == 16
+
+    def test_complete_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            complete_graph_stream(0)
+
+    def test_star_out_edges(self):
+        stream = star_stream(10)
+        assert all(edge.source == "hub" for edge in stream)
+        assert len(stream) == 10
+
+    def test_star_reversed(self):
+        stream = star_stream(10, reversed_edges=True)
+        assert all(edge.destination == "hub" for edge in stream)
+
+    def test_star_rejects_zero_leaves(self):
+        with pytest.raises(ValueError):
+            star_stream(0)

@@ -1,0 +1,72 @@
+"""Unit tests for GSSConfig."""
+
+import pytest
+
+from repro.core.config import GSSConfig
+
+
+class TestGSSConfigValidation:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            GSSConfig(matrix_width=0)
+
+    def test_rejects_bad_fingerprint_bits(self):
+        with pytest.raises(ValueError):
+            GSSConfig(matrix_width=10, fingerprint_bits=0)
+        with pytest.raises(ValueError):
+            GSSConfig(matrix_width=10, fingerprint_bits=40)
+
+    def test_rejects_bad_rooms_and_sequence(self):
+        with pytest.raises(ValueError):
+            GSSConfig(matrix_width=10, rooms=0)
+        with pytest.raises(ValueError):
+            GSSConfig(matrix_width=10, sequence_length=0)
+        with pytest.raises(ValueError):
+            GSSConfig(matrix_width=10, candidate_buckets=0)
+
+
+class TestGSSConfigDerivedValues:
+    def test_fingerprint_and_hash_range(self):
+        config = GSSConfig(matrix_width=100, fingerprint_bits=12)
+        assert config.fingerprint_range == 4096
+        assert config.hash_range == 100 * 4096
+
+    def test_effective_sequence_length_without_square_hashing(self):
+        config = GSSConfig(matrix_width=10, sequence_length=16, square_hashing=False)
+        assert config.effective_sequence_length == 1
+        assert config.effective_candidates == 1
+
+    def test_effective_candidates_without_sampling(self):
+        config = GSSConfig(matrix_width=10, sequence_length=4, sampling=False)
+        assert config.effective_candidates == 16
+
+    def test_effective_candidates_capped_by_mapped_buckets(self):
+        config = GSSConfig(matrix_width=10, sequence_length=2, candidate_buckets=16)
+        assert config.effective_candidates == 4
+
+    def test_matrix_memory_bytes(self):
+        config = GSSConfig(matrix_width=10, fingerprint_bits=16, rooms=2)
+        # per room: 2*16 + 8 + 32 = 72 bits = 9 bytes; 10*10*2 rooms = 1800 bytes
+        assert config.matrix_memory_bytes() == 1800
+
+
+class TestForEdgeCount:
+    def test_width_scales_with_sqrt(self):
+        small = GSSConfig.for_edge_count(1_000)
+        large = GSSConfig.for_edge_count(100_000)
+        assert large.matrix_width > small.matrix_width
+        assert large.matrix_width == pytest.approx((100_000 / 2) ** 0.5, abs=2)
+
+    def test_capacity_covers_edges(self):
+        config = GSSConfig.for_edge_count(5_000)
+        capacity = config.matrix_width ** 2 * config.rooms
+        assert capacity >= 5_000
+
+    def test_overrides_pass_through(self):
+        config = GSSConfig.for_edge_count(1_000, rooms=1, square_hashing=False)
+        assert config.rooms == 1
+        assert not config.square_hashing
+
+    def test_rejects_non_positive_edges(self):
+        with pytest.raises(ValueError):
+            GSSConfig.for_edge_count(0)

@@ -1,0 +1,137 @@
+"""Hypothesis property tests for the GSS invariants.
+
+The two invariants the paper's analysis rests on are exercised here over
+randomly generated streams and configurations:
+
+* **No under-estimation** — the aggregation function is addition, so GSS (and
+  the basic variant) can only over-estimate edge weights (Section VII-A).
+* **No false negatives** — every true successor/precursor is reported
+  (Section VII-B defines precision assuming ``SS ⊆ SS_hat``).
+* **Reversibility (Theorem 1)** — edges stored in the matrix can be recovered
+  exactly, so two different sketch edges are never merged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.basic import GSSBasic
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.hashing.linear_congruence import address_sequence, recover_address
+
+# Streams of up to 60 items over a small node universe, with weights 1..5.
+edge_items = st.tuples(
+    st.integers(min_value=0, max_value=24),
+    st.integers(min_value=0, max_value=24),
+    st.integers(min_value=1, max_value=5),
+)
+streams = st.lists(edge_items, min_size=1, max_size=60)
+
+configs = st.builds(
+    GSSConfig,
+    matrix_width=st.integers(min_value=2, max_value=24),
+    fingerprint_bits=st.sampled_from([4, 8, 12, 16]),
+    rooms=st.integers(min_value=1, max_value=3),
+    sequence_length=st.integers(min_value=1, max_value=8),
+    candidate_buckets=st.integers(min_value=1, max_value=8),
+    square_hashing=st.booleans(),
+    sampling=st.booleans(),
+)
+
+
+def aggregate(items: List[Tuple[int, int, int]]):
+    truth = {}
+    for source, destination, weight in items:
+        truth[(source, destination)] = truth.get((source, destination), 0.0) + weight
+    return truth
+
+
+@given(items=streams, config=configs)
+@settings(max_examples=120, deadline=None)
+def test_gss_never_underestimates(items, config):
+    sketch = GSS(config)
+    for source, destination, weight in items:
+        sketch.update(f"n{source}", f"n{destination}", float(weight))
+    for (source, destination), weight in aggregate(items).items():
+        assert sketch.edge_query(f"n{source}", f"n{destination}") >= weight - 1e-9
+
+
+@given(items=streams, config=configs)
+@settings(max_examples=60, deadline=None)
+def test_gss_has_no_false_negative_successors(items, config):
+    sketch = GSS(config)
+    truth = {}
+    for source, destination, weight in items:
+        sketch.update(f"n{source}", f"n{destination}", float(weight))
+        truth.setdefault(f"n{source}", set()).add(f"n{destination}")
+    for node, successors in truth.items():
+        assert successors <= sketch.successor_query(node)
+
+
+@given(items=streams, config=configs)
+@settings(max_examples=60, deadline=None)
+def test_gss_has_no_false_negative_precursors(items, config):
+    sketch = GSS(config)
+    truth = {}
+    for source, destination, weight in items:
+        sketch.update(f"n{source}", f"n{destination}", float(weight))
+        truth.setdefault(f"n{destination}", set()).add(f"n{source}")
+    for node, precursors in truth.items():
+        assert precursors <= sketch.precursor_query(node)
+
+
+@given(items=streams)
+@settings(max_examples=80, deadline=None)
+def test_basic_gss_never_underestimates(items):
+    sketch = GSSBasic(matrix_width=8, fingerprint_bits=8)
+    for source, destination, weight in items:
+        sketch.update(f"n{source}", f"n{destination}", float(weight))
+    for (source, destination), weight in aggregate(items).items():
+        assert sketch.edge_query(f"n{source}", f"n{destination}") >= weight - 1e-9
+
+
+@given(items=streams, config=configs)
+@settings(max_examples=60, deadline=None)
+def test_stored_edge_count_never_exceeds_distinct_sketch_edges(items, config):
+    sketch = GSS(config)
+    for source, destination, weight in items:
+        sketch.update(f"n{source}", f"n{destination}", float(weight))
+    distinct_sketch_edges = {
+        (sketch.node_hash(f"n{source}"), sketch.node_hash(f"n{destination}"))
+        for source, destination, _ in items
+    }
+    stored = sketch.matrix_edge_count + sketch.buffer_edge_count
+    assert stored == len(distinct_sketch_edges)
+
+
+@given(
+    base=st.integers(min_value=0, max_value=499),
+    fingerprint=st.integers(min_value=0, max_value=4095),
+    width=st.integers(min_value=2, max_value=500),
+    length=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=200, deadline=None)
+def test_square_hashing_addresses_are_reversible(base, fingerprint, width, length):
+    base = base % width
+    addresses = address_sequence(base, fingerprint, length, width)
+    for index, observed in enumerate(addresses, start=1):
+        assert recover_address(observed, fingerprint, index, width) == base
+
+
+@given(items=streams)
+@settings(max_examples=40, deadline=None)
+def test_reconstruction_covers_every_sketch_edge(items):
+    config = GSSConfig(matrix_width=12, fingerprint_bits=12, sequence_length=4, candidate_buckets=4)
+    sketch = GSS(config)
+    for source, destination, weight in items:
+        sketch.update(f"n{source}", f"n{destination}", float(weight))
+    recovered = {}
+    for source_hash, destination_hash, weight in sketch.reconstruct_sketch_edges():
+        key = (source_hash, destination_hash)
+        recovered[key] = recovered.get(key, 0.0) + weight
+    for (source, destination), weight in aggregate(items).items():
+        key = (sketch.node_hash(f"n{source}"), sketch.node_hash(f"n{destination}"))
+        assert recovered[key] >= weight - 1e-9

@@ -1,0 +1,93 @@
+"""Unit tests for the node-hashing substrate."""
+
+import pytest
+
+from repro.hashing.hash_functions import (
+    NodeHasher,
+    fingerprint_of,
+    hash_key,
+    hash_string,
+    split_hash,
+)
+
+
+class TestHashString:
+    def test_deterministic(self):
+        assert hash_string("node-42") == hash_string("node-42")
+
+    def test_different_keys_differ(self):
+        assert hash_string("a") != hash_string("b")
+
+    def test_seed_changes_value(self):
+        assert hash_string("a", seed=1) != hash_string("a", seed=2)
+
+    def test_64_bit_range(self):
+        value = hash_string("anything")
+        assert 0 <= value < 2 ** 64
+
+    def test_empty_string_supported(self):
+        assert isinstance(hash_string(""), int)
+
+
+class TestHashKey:
+    def test_int_keys(self):
+        assert hash_key(7) == hash_key(7)
+        assert hash_key(7) != hash_key(8)
+
+    def test_bytes_keys(self):
+        assert hash_key(b"ip-10.0.0.1") == hash_key(b"ip-10.0.0.1")
+
+    def test_tuple_keys(self):
+        assert hash_key(("a", "b")) == hash_key(("a", "b"))
+        assert hash_key(("a", "b")) != hash_key(("b", "a"))
+
+    def test_int_seed_independence(self):
+        assert hash_key(7, seed=1) != hash_key(7, seed=2)
+
+
+class TestSplitHash:
+    def test_split_is_divmod(self):
+        address, fingerprint = split_hash(1234567, 256)
+        assert address == 1234567 // 256
+        assert fingerprint == 1234567 % 256
+
+    def test_fingerprint_of_matches_split(self):
+        assert fingerprint_of(999, 64) == split_hash(999, 64)[1]
+
+    def test_rejects_non_positive_range(self):
+        with pytest.raises(ValueError):
+            split_hash(10, 0)
+
+
+class TestNodeHasher:
+    def test_values_in_range(self):
+        hasher = NodeHasher(value_range=1000)
+        assert all(0 <= hasher(f"n{i}") < 1000 for i in range(200))
+
+    def test_deterministic_across_instances(self):
+        assert NodeHasher(500)("x") == NodeHasher(500)("x")
+
+    def test_seeds_give_independent_functions(self):
+        a = NodeHasher(10_000, seed=1)
+        b = NodeHasher(10_000, seed=2)
+        values_a = [a(f"n{i}") for i in range(100)]
+        values_b = [b(f"n{i}") for i in range(100)]
+        assert values_a != values_b
+
+    def test_address_and_fingerprint(self):
+        hasher = NodeHasher(value_range=16 * 256)
+        address, fingerprint = hasher.address_and_fingerprint("v", 256)
+        assert hasher("v") == address * 256 + fingerprint
+        assert 0 <= address < 16
+        assert 0 <= fingerprint < 256
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            NodeHasher(value_range=0)
+
+    def test_distribution_roughly_uniform(self):
+        hasher = NodeHasher(value_range=10)
+        counts = [0] * 10
+        for i in range(5000):
+            counts[hasher(f"node-{i}")] += 1
+        assert min(counts) > 300  # perfectly uniform would be 500 per bin

@@ -1,0 +1,138 @@
+"""Tests for cross-epoch heavy-changer and persistence queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.queries.heavy_changers import (
+    edge_changes,
+    heavy_changers,
+    new_edges,
+    persistent_edges,
+    relative_changers,
+    top_k_changers,
+    vanished_edges,
+)
+
+
+def build_epochs():
+    """Two exact epochs with known weight changes."""
+    before = AdjacencyListGraph()
+    after = AdjacencyListGraph()
+    before.update("a", "b", 10.0)
+    after.update("a", "b", 50.0)      # grows by 40
+    before.update("c", "d", 5.0)
+    after.update("c", "d", 5.0)       # unchanged
+    before.update("e", "f", 20.0)     # vanishes
+    after.update("g", "h", 7.0)       # brand new
+    return before, after
+
+
+EDGES = [("a", "b"), ("c", "d"), ("e", "f"), ("g", "h")]
+
+
+class TestEdgeChanges:
+    def test_signed_changes(self):
+        before, after = build_epochs()
+        changes = dict(edge_changes(before, after, EDGES))
+        assert changes[("a", "b")] == pytest.approx(40.0)
+        assert changes[("c", "d")] == pytest.approx(0.0)
+        assert changes[("e", "f")] == pytest.approx(-20.0)
+        assert changes[("g", "h")] == pytest.approx(7.0)
+
+    def test_heavy_changers_threshold(self):
+        before, after = build_epochs()
+        heavy = heavy_changers(before, after, EDGES, threshold=10.0)
+        keys = [edge for edge, _ in heavy]
+        assert ("a", "b") in keys
+        assert ("e", "f") in keys
+        assert ("c", "d") not in keys
+
+    def test_heavy_changers_sorted_by_magnitude(self):
+        before, after = build_epochs()
+        heavy = heavy_changers(before, after, EDGES, threshold=1.0)
+        magnitudes = [abs(delta) for _, delta in heavy]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_heavy_changers_rejects_negative_threshold(self):
+        before, after = build_epochs()
+        with pytest.raises(ValueError):
+            heavy_changers(before, after, EDGES, threshold=-1.0)
+
+    def test_top_k_changers(self):
+        before, after = build_epochs()
+        top = top_k_changers(before, after, EDGES, 2)
+        assert top[0][0] == ("a", "b")
+        assert len(top) == 2
+        with pytest.raises(ValueError):
+            top_k_changers(before, after, EDGES, -1)
+
+
+class TestRelativeChangers:
+    def test_growth_factor_reported(self):
+        before, after = build_epochs()
+        relative = dict(relative_changers(before, after, EDGES, ratio=2.0))
+        assert relative[("a", "b")] == pytest.approx(5.0)
+
+    def test_unchanged_edges_excluded(self):
+        before, after = build_epochs()
+        relative = dict(relative_changers(before, after, EDGES, ratio=2.0))
+        assert ("c", "d") not in relative
+
+    def test_new_edge_reported(self):
+        before, after = build_epochs()
+        relative = dict(relative_changers(before, after, EDGES, ratio=2.0))
+        assert ("g", "h") in relative
+
+    def test_minimum_weight_filters_noise(self):
+        before, after = build_epochs()
+        relative = relative_changers(before, after, [("x", "y")], ratio=2.0, minimum_weight=1.0)
+        assert relative == []
+
+    def test_invalid_ratio(self):
+        before, after = build_epochs()
+        with pytest.raises(ValueError):
+            relative_changers(before, after, EDGES, ratio=0.0)
+
+
+class TestPresenceQueries:
+    def test_persistent_edges(self):
+        before, after = build_epochs()
+        persistent = persistent_edges([before, after], EDGES)
+        assert ("a", "b") in persistent
+        assert ("c", "d") in persistent
+        assert ("e", "f") not in persistent
+
+    def test_persistent_requires_stores(self):
+        with pytest.raises(ValueError):
+            persistent_edges([], EDGES)
+
+    def test_new_edges(self):
+        before, after = build_epochs()
+        assert new_edges(before, after, EDGES) == [("g", "h")]
+
+    def test_vanished_edges(self):
+        before, after = build_epochs()
+        assert vanished_edges(before, after, EDGES) == [("e", "f")]
+
+
+class TestOnSketches:
+    def test_sketch_epochs_detect_dominant_changer(self, small_stream):
+        """Split the stream in two epochs and boost one edge in the second."""
+        stats = small_stream.statistics()
+        config = GSSConfig.for_edge_count(
+            stats.distinct_edges, sequence_length=4, candidate_buckets=4
+        )
+        half = len(small_stream) // 2
+        before = GSS(config).ingest(small_stream[:half])
+        after = GSS(config).ingest(small_stream[half:])
+        boosted = small_stream.distinct_edge_keys()[0]
+        for _ in range(50):
+            after.update(boosted[0], boosted[1], 10.0)
+
+        candidates = small_stream.distinct_edge_keys()[:200]
+        top = top_k_changers(before, after, candidates, 5)
+        assert boosted in [edge for edge, _ in top]

@@ -1,0 +1,90 @@
+"""Unit tests for heavy-hitter queries."""
+
+import pytest
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.queries.heavy_hitters import heavy_edges, heavy_nodes, top_k_edges, top_k_nodes
+from repro.queries.primitives import consume_stream
+
+
+@pytest.fixture()
+def exact_store(paper_stream):
+    return consume_stream(AdjacencyListGraph(), paper_stream)
+
+
+@pytest.fixture()
+def sketch(paper_stream):
+    gss = GSS(GSSConfig(matrix_width=8, fingerprint_bits=16, sequence_length=4, candidate_buckets=4))
+    return gss.ingest(paper_stream)
+
+
+class TestHeavyEdges:
+    def test_threshold_filtering(self, exact_store, paper_stream):
+        candidates = paper_stream.distinct_edge_keys()
+        heavy = heavy_edges(exact_store, candidates, threshold=2.0)
+        found = {(source, destination) for source, destination, _ in heavy}
+        assert found == {("a", "c"), ("c", "f"), ("d", "a"), ("f", "e"), ("e", "b")}
+
+    def test_sorted_by_weight(self, exact_store, paper_stream):
+        heavy = heavy_edges(exact_store, paper_stream.distinct_edge_keys(), threshold=1.0)
+        weights = [weight for _, _, weight in heavy]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_sketch_never_misses_heavy_edges(self, sketch, exact_store, paper_stream):
+        candidates = paper_stream.distinct_edge_keys()
+        truth = {
+            (source, destination)
+            for source, destination, _ in heavy_edges(exact_store, candidates, 2.0)
+        }
+        estimated = {
+            (source, destination)
+            for source, destination, _ in heavy_edges(sketch, candidates, 2.0)
+        }
+        assert truth <= estimated
+
+    def test_top_k(self, exact_store, paper_stream):
+        top = top_k_edges(exact_store, paper_stream.distinct_edge_keys(), k=1)
+        assert top[0][:2] == ("a", "c")
+        assert top[0][2] == 5.0
+
+    def test_rejects_bad_arguments(self, exact_store):
+        with pytest.raises(ValueError):
+            heavy_edges(exact_store, [], threshold=0)
+        with pytest.raises(ValueError):
+            top_k_edges(exact_store, [], k=0)
+
+
+class TestHeavyNodes:
+    def test_out_direction(self, exact_store, paper_stream):
+        nodes = paper_stream.nodes()
+        heavy = heavy_nodes(exact_store, nodes, threshold=3.0, direction="out")
+        assert heavy[0][0] == "a"
+        assert dict(heavy)["a"] == 9.0
+
+    def test_in_direction(self, exact_store, paper_stream):
+        nodes = paper_stream.nodes()
+        heavy = dict(heavy_nodes(exact_store, nodes, threshold=3.0, direction="in"))
+        assert heavy["c"] == 5.0
+
+    def test_top_k_nodes(self, exact_store, paper_stream):
+        top = top_k_nodes(exact_store, paper_stream.nodes(), k=2, direction="out")
+        assert [node for node, _ in top][0] == "a"
+        assert len(top) == 2
+
+    def test_sketch_never_misses_heavy_nodes(self, sketch, exact_store, paper_stream):
+        nodes = paper_stream.nodes()
+        truth = {node for node, _ in heavy_nodes(exact_store, nodes, 3.0)}
+        estimated = {node for node, _ in heavy_nodes(sketch, nodes, 3.0)}
+        assert truth <= estimated
+
+    def test_rejects_bad_arguments(self, exact_store):
+        with pytest.raises(ValueError):
+            heavy_nodes(exact_store, [], threshold=-1)
+        with pytest.raises(ValueError):
+            heavy_nodes(exact_store, [], threshold=1, direction="sideways")
+        with pytest.raises(ValueError):
+            top_k_nodes(exact_store, [], k=0)
+        with pytest.raises(ValueError):
+            top_k_nodes(exact_store, [], k=1, direction="sideways")

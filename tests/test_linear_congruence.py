@@ -1,0 +1,97 @@
+"""Unit and property tests for the LR sequences used by square hashing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.linear_congruence import (
+    LinearCongruentialSequence,
+    address_sequence,
+    candidate_sequence,
+    default_lcg_params,
+    recover_address,
+    unique_candidates,
+)
+
+
+class TestLinearCongruentialSequence:
+    def test_deterministic(self):
+        lcg = LinearCongruentialSequence()
+        assert lcg.generate(5, 8) == lcg.generate(5, 8)
+
+    def test_length(self):
+        assert len(LinearCongruentialSequence().generate(3, 12)) == 12
+
+    def test_value_at_matches_generate(self):
+        lcg = LinearCongruentialSequence()
+        sequence = lcg.generate(9, 10)
+        assert all(lcg.value_at(9, i + 1) == sequence[i] for i in range(10))
+
+    def test_zero_length(self):
+        assert LinearCongruentialSequence().generate(1, 0) == []
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            LinearCongruentialSequence().generate(1, -1)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            LinearCongruentialSequence(modulus=1)
+
+    def test_value_at_requires_positive_index(self):
+        with pytest.raises(ValueError):
+            LinearCongruentialSequence().value_at(1, 0)
+
+    def test_default_params_table(self):
+        assert default_lcg_params(0) != default_lcg_params(1)
+        assert default_lcg_params(0) == default_lcg_params(4)  # wraps around
+
+
+class TestAddressSequence:
+    def test_values_in_range(self):
+        addresses = address_sequence(7, 123, 16, 50)
+        assert len(addresses) == 16
+        assert all(0 <= a < 50 for a in addresses)
+
+    def test_different_fingerprints_differ(self):
+        assert address_sequence(0, 10, 8, 1000) != address_sequence(0, 11, 8, 1000)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            address_sequence(0, 1, 4, 0)
+
+    @given(
+        base=st.integers(min_value=0, max_value=999),
+        fingerprint=st.integers(min_value=0, max_value=65535),
+        index=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_recover_address_inverts(self, base, fingerprint, index):
+        """Reversibility (Section V-A): h(v) is recoverable from h_i(v), f(v), i."""
+        width = 1000
+        addresses = address_sequence(base, fingerprint, 16, width)
+        observed = addresses[index - 1]
+        assert recover_address(observed, fingerprint, index, width) == base
+
+
+class TestCandidateSequence:
+    def test_indices_in_range(self):
+        pairs = candidate_sequence(12, 200, 16, 8)
+        assert len(pairs) == 16
+        assert all(0 <= i < 8 and 0 <= j < 8 for i, j in pairs)
+
+    def test_deterministic_for_same_edge(self):
+        assert candidate_sequence(3, 4, 8, 8) == candidate_sequence(3, 4, 8, 8)
+
+    def test_depends_on_fingerprint_sum_only(self):
+        # seed is f(s) + f(d); (3, 4) and (4, 3) give the same sample.
+        assert candidate_sequence(3, 4, 8, 8) == candidate_sequence(4, 3, 8, 8)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            candidate_sequence(0, 0, 4, 0)
+        with pytest.raises(ValueError):
+            candidate_sequence(0, 0, -1, 4)
+
+    def test_unique_candidates_preserves_order(self):
+        pairs = [(0, 0), (1, 1), (0, 0), (2, 2), (1, 1)]
+        assert unique_candidates(pairs) == [(0, 0), (1, 1), (2, 2)]

@@ -1,0 +1,158 @@
+"""Tests for the memory accounting and propagated error models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.error_models import (
+    expected_edge_query_relative_error,
+    expected_false_successors,
+    expected_node_query_relative_error,
+    expected_successor_precision,
+    expected_true_negative_recall,
+    memory_accuracy_tradeoff,
+    reachability_false_positive_bound,
+    triangle_count_bias,
+)
+from repro.analysis.memory import (
+    adjacency_list_memory_bytes,
+    adjacency_matrix_memory_bytes,
+    compare_structures,
+    gss_memory_bytes,
+    gss_width_for_memory,
+    memory_sweep,
+    tcm_memory_bytes,
+    tcm_width_for_memory,
+)
+from repro.core.config import GSSConfig
+
+
+class TestMemoryAccounting:
+    def test_gss_memory_includes_buffer_and_index(self):
+        config = GSSConfig(matrix_width=100)
+        base = gss_memory_bytes(config)
+        with_extras = gss_memory_bytes(config, buffered_edges=10, indexed_nodes=5)
+        assert with_extras == base + 10 * 16 + 5 * 16
+
+    def test_gss_memory_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gss_memory_bytes(GSSConfig(matrix_width=10), buffered_edges=-1)
+
+    def test_tcm_memory(self):
+        assert tcm_memory_bytes(100, depth=4) == 100 * 100 * 4 * 4
+        with pytest.raises(ValueError):
+            tcm_memory_bytes(0)
+
+    def test_adjacency_memory(self):
+        assert adjacency_list_memory_bytes(100, 10) == 100 * 16 + 10 * 16
+        assert adjacency_matrix_memory_bytes(10) == 400
+        with pytest.raises(ValueError):
+            adjacency_list_memory_bytes(-1, 0)
+        with pytest.raises(ValueError):
+            adjacency_matrix_memory_bytes(-1)
+
+    def test_width_for_memory_round_trips(self):
+        width = tcm_width_for_memory(tcm_memory_bytes(500))
+        assert width == 500
+        gss_width = gss_width_for_memory(10_000_000, fingerprint_bits=16, rooms=2)
+        config = GSSConfig(matrix_width=gss_width, fingerprint_bits=16, rooms=2)
+        assert config.matrix_memory_bytes() <= 10_000_000
+
+    def test_width_for_memory_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            tcm_width_for_memory(0)
+        with pytest.raises(ValueError):
+            gss_width_for_memory(-5)
+
+    def test_compare_structures_matches_paper_ordering(self):
+        comparison = compare_structures(edge_count=500_000, node_count=100_000)
+        # Sparse graph: dense adjacency matrix is by far the largest.
+        assert comparison.adjacency_matrix_bytes > comparison.adjacency_list_bytes
+        # GSS stays within a small constant of the adjacency list (O(|E|)).
+        assert comparison.gss_bytes < 4 * comparison.adjacency_list_bytes
+        row = comparison.as_row()
+        assert row["edges"] == 500_000
+        assert row["list_to_gss_ratio"] > 0
+
+    def test_compare_structures_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            compare_structures(0, 10)
+
+    def test_memory_sweep_is_monotone(self):
+        sweep = memory_sweep([10_000, 100_000, 1_000_000])
+        sizes = [row.gss_bytes for row in sweep]
+        assert sizes == sorted(sizes)
+        with pytest.raises(ValueError):
+            memory_sweep([1000], average_degree=0)
+
+
+class TestErrorModels:
+    def test_false_successors_shrink_with_M(self):
+        small = expected_false_successors(M=1_000, nodes=10_000, edges=50_000)
+        large = expected_false_successors(M=1_000_000, nodes=10_000, edges=50_000)
+        assert large < small
+
+    def test_false_successors_validation(self):
+        with pytest.raises(ValueError):
+            expected_false_successors(0, 10, 10)
+        with pytest.raises(ValueError):
+            expected_false_successors(10, -1, 10)
+
+    def test_successor_precision_bounds(self):
+        precision = expected_successor_precision(M=1_000_000, nodes=10_000, edges=50_000, out_degree=5)
+        assert 0.0 < precision <= 1.0
+        assert expected_successor_precision(M=10, nodes=0, edges=0, out_degree=0) == 1.0
+        with pytest.raises(ValueError):
+            expected_successor_precision(100, 10, 10, out_degree=-1)
+
+    def test_gss_precision_beats_tcm_precision(self):
+        gss = expected_successor_precision(M=1000 * 65536, nodes=10_000, edges=50_000, out_degree=5)
+        tcm = expected_successor_precision(M=1000, nodes=10_000, edges=50_000, out_degree=5)
+        assert gss > tcm
+
+    def test_node_query_error_decreases_with_M(self):
+        small = expected_node_query_relative_error(M=1_000, edges=50_000, node_out_weight=100, average_edge_weight=2)
+        large = expected_node_query_relative_error(M=65_536_000, edges=50_000, node_out_weight=100, average_edge_weight=2)
+        assert large < small
+        with pytest.raises(ValueError):
+            expected_node_query_relative_error(1000, 100, 0, 1)
+
+    def test_edge_query_error_model(self):
+        error = expected_edge_query_relative_error(
+            M=1000 * 65536, edges=500_000, edge_weight=10, average_edge_weight=3, adjacent_edges=200
+        )
+        assert 0.0 <= error < 0.01
+        with pytest.raises(ValueError):
+            expected_edge_query_relative_error(1000, 100, 0, 1)
+
+    def test_reachability_bound_and_recall(self):
+        bound = reachability_false_positive_bound(
+            M=1000 * 4096, nodes=5_000, edges=20_000, frontier_size=50, path_length=4
+        )
+        assert 0.0 <= bound <= 1.0
+        recall = expected_true_negative_recall(
+            M=1000 * 4096, nodes=5_000, edges=20_000, frontier_size=50, path_length=4
+        )
+        assert recall == pytest.approx(1.0 - bound)
+        with pytest.raises(ValueError):
+            reachability_false_positive_bound(1000, 10, 10, frontier_size=-1)
+
+    def test_recall_improves_with_fingerprints(self):
+        small_M = expected_true_negative_recall(M=500, nodes=5_000, edges=20_000, frontier_size=50)
+        large_M = expected_true_negative_recall(M=500 * 65536, nodes=5_000, edges=20_000, frontier_size=50)
+        assert large_M >= small_M
+
+    def test_triangle_bias_positive_and_validated(self):
+        bias = triangle_count_bias(M=1000, nodes=3_000, edges=15_000, true_triangles=500)
+        assert bias >= 0.0
+        with pytest.raises(ValueError):
+            triangle_count_bias(1000, 10, 10, true_triangles=0)
+
+    def test_memory_accuracy_tradeoff_monotone(self):
+        rows = memory_accuracy_tradeoff(edges=100_000, nodes=20_000, fingerprint_bits=16, widths=[100, 200, 400])
+        rates = [rate for _, _, rate in rows]
+        assert rates == sorted(rates)
+        with pytest.raises(ValueError):
+            memory_accuracy_tradeoff(100, 10, 0, [10])
+        with pytest.raises(ValueError):
+            memory_accuracy_tradeoff(100, 10, 8, [0])

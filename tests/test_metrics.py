@@ -1,0 +1,100 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.metrics.accuracy import (
+    average_precision,
+    average_relative_error,
+    buffer_percentage,
+    precision,
+    relative_error,
+    true_negative_recall,
+)
+from repro.metrics.throughput import Throughput, measure_update_throughput, relative_speed
+from repro.streaming.edge import StreamEdge
+
+
+class TestRelativeError:
+    def test_exact_estimate_is_zero(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_overestimate_positive(self):
+        assert relative_error(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_average(self):
+        assert average_relative_error([(12, 10), (10, 10)]) == pytest.approx(0.1)
+        assert average_relative_error([]) == 0.0
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_false_positives_lower_precision(self):
+        assert precision({"a"}, {"a", "b", "c", "d"}) == 0.25
+
+    def test_empty_sets(self):
+        assert precision(set(), set()) == 1.0
+        assert precision({"a"}, set()) == 0.0
+
+    def test_average(self):
+        pairs = [({"a"}, {"a"}), ({"a"}, {"a", "b"})]
+        assert average_precision(pairs) == pytest.approx(0.75)
+        assert average_precision([]) == 0.0
+
+
+class TestTrueNegativeRecall:
+    def test_all_correct(self):
+        assert true_negative_recall([False, False, False]) == 1.0
+
+    def test_partially_correct(self):
+        assert true_negative_recall([False, True, False, True]) == 0.5
+
+    def test_empty(self):
+        assert true_negative_recall([]) == 0.0
+
+
+class TestBufferPercentage:
+    def test_fraction(self):
+        assert buffer_percentage(5, 100) == 0.05
+
+    def test_zero_total(self):
+        assert buffer_percentage(5, 0) == 0.0
+
+
+class TestThroughput:
+    def test_rates(self):
+        measurement = Throughput(label="x", items=2_000_000, seconds=2.0)
+        assert measurement.items_per_second == 1_000_000
+        assert measurement.mips == pytest.approx(1.0)
+
+    def test_zero_seconds(self):
+        assert Throughput("x", 10, 0.0).items_per_second == float("inf")
+
+    def test_measure_update_throughput(self):
+        class Counter:
+            def __init__(self):
+                self.count = 0
+
+            def update(self, source, destination, weight=1.0):
+                self.count += 1
+
+        edges = [StreamEdge(f"s{i}", f"d{i}") for i in range(500)]
+        measurement = measure_update_throughput(Counter, edges, label="counter", repeats=2)
+        assert measurement.items == 1000
+        assert measurement.items_per_second > 0
+
+    def test_measure_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            measure_update_throughput(object, [], repeats=0)
+
+    def test_relative_speed(self):
+        reference = Throughput("ref", 100, 1.0)
+        other = Throughput("other", 200, 1.0)
+        ratios = relative_speed(reference, [reference, other])
+        assert ratios["ref"] == pytest.approx(1.0)
+        assert ratios["other"] == pytest.approx(2.0)

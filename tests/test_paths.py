@@ -1,0 +1,137 @@
+"""Unit tests for the path-style compound queries."""
+
+import pytest
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.queries.paths import (
+    k_hop_precursors,
+    k_hop_successors,
+    shortest_path,
+    shortest_path_length,
+    weakly_connected_components,
+)
+from repro.queries.primitives import consume_stream
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+
+
+@pytest.fixture()
+def chain_store():
+    """a -> b -> c -> d plus an isolated pair x -> y."""
+    stream = GraphStream(
+        [
+            StreamEdge("a", "b"),
+            StreamEdge("b", "c"),
+            StreamEdge("c", "d"),
+            StreamEdge("x", "y"),
+        ]
+    )
+    return consume_stream(AdjacencyListGraph(), stream), stream
+
+
+class TestKHop:
+    def test_k_hop_successors(self, chain_store):
+        store, _ = chain_store
+        assert k_hop_successors(store, "a", 1) == {"b"}
+        assert k_hop_successors(store, "a", 2) == {"b", "c"}
+        assert k_hop_successors(store, "a", 10) == {"b", "c", "d"}
+
+    def test_k_hop_precursors(self, chain_store):
+        store, _ = chain_store
+        assert k_hop_precursors(store, "d", 1) == {"c"}
+        assert k_hop_precursors(store, "d", 3) == {"a", "b", "c"}
+
+    def test_zero_hops(self, chain_store):
+        store, _ = chain_store
+        assert k_hop_successors(store, "a", 0) == set()
+
+    def test_negative_hops_rejected(self, chain_store):
+        store, _ = chain_store
+        with pytest.raises(ValueError):
+            k_hop_successors(store, "a", -1)
+        with pytest.raises(ValueError):
+            k_hop_precursors(store, "a", -1)
+
+    def test_max_nodes_cap(self, chain_store):
+        store, _ = chain_store
+        capped = k_hop_successors(store, "a", 10, max_nodes=1)
+        assert len(capped) <= 2
+
+
+class TestShortestPaths:
+    def test_length(self, chain_store):
+        store, _ = chain_store
+        assert shortest_path_length(store, "a", "a") == 0
+        assert shortest_path_length(store, "a", "b") == 1
+        assert shortest_path_length(store, "a", "d") == 3
+        assert shortest_path_length(store, "a", "y") is None
+
+    def test_path(self, chain_store):
+        store, _ = chain_store
+        assert shortest_path(store, "a", "d") == ["a", "b", "c", "d"]
+        assert shortest_path(store, "a", "a") == ["a"]
+        assert shortest_path(store, "d", "a") is None
+
+    def test_shortest_among_alternatives(self):
+        stream = GraphStream(
+            [
+                StreamEdge("a", "b"),
+                StreamEdge("b", "d"),
+                StreamEdge("a", "c"),
+                StreamEdge("c", "e"),
+                StreamEdge("e", "d"),
+                StreamEdge("a", "d"),
+            ]
+        )
+        store = consume_stream(AdjacencyListGraph(), stream)
+        assert shortest_path_length(store, "a", "d") == 1
+        assert shortest_path(store, "a", "d") == ["a", "d"]
+
+    def test_max_nodes_gives_up(self, chain_store):
+        store, _ = chain_store
+        assert shortest_path_length(store, "a", "d", max_nodes=2) is None
+        assert shortest_path(store, "a", "d", max_nodes=2) is None
+
+
+class TestComponents:
+    def test_two_components(self, chain_store):
+        store, stream = chain_store
+        components = weakly_connected_components(store, stream.nodes())
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [2, 4]
+
+    def test_direction_ignored(self):
+        stream = GraphStream([StreamEdge("a", "b"), StreamEdge("c", "b")])
+        store = consume_stream(AdjacencyListGraph(), stream)
+        components = weakly_connected_components(store, stream.nodes())
+        assert len(components) == 1
+
+
+class TestOnSketch:
+    def test_paths_on_gss_never_longer_than_exact(self, paper_stream):
+        exact = consume_stream(AdjacencyListGraph(), paper_stream)
+        sketch = GSS(
+            GSSConfig(matrix_width=8, fingerprint_bits=16, sequence_length=4, candidate_buckets=4)
+        )
+        sketch.ingest(paper_stream)
+        nodes = paper_stream.nodes()
+        for source in nodes:
+            for destination in nodes:
+                exact_length = shortest_path_length(exact, source, destination)
+                if exact_length is None:
+                    continue
+                sketch_length = shortest_path_length(sketch, source, destination)
+                # sketches only add edges, so paths can only get shorter
+                assert sketch_length is not None
+                assert sketch_length <= exact_length
+
+    def test_k_hop_on_gss_is_superset(self, paper_stream):
+        exact = consume_stream(AdjacencyListGraph(), paper_stream)
+        sketch = GSS(
+            GSSConfig(matrix_width=8, fingerprint_bits=16, sequence_length=4, candidate_buckets=4)
+        )
+        sketch.ingest(paper_stream)
+        for node in paper_stream.nodes():
+            assert k_hop_successors(exact, node, 2) <= k_hop_successors(sketch, node, 2)

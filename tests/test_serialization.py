@@ -1,0 +1,77 @@
+"""Unit tests for GSS persistence (save/load round trips)."""
+
+import json
+
+import pytest
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    load_sketch,
+    save_sketch,
+    sketch_from_dict,
+    sketch_to_dict,
+)
+
+
+@pytest.fixture()
+def populated_sketch(small_stream) -> GSS:
+    config = GSSConfig(
+        matrix_width=20, fingerprint_bits=12, sequence_length=8, candidate_buckets=8
+    )
+    return GSS(config).ingest(small_stream)
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_edge_queries(self, populated_sketch, small_stream):
+        restored = sketch_from_dict(sketch_to_dict(populated_sketch))
+        for key in list(small_stream.aggregate_weights())[:300]:
+            assert restored.edge_query(*key) == populated_sketch.edge_query(*key)
+
+    def test_round_trip_preserves_neighbor_queries(self, populated_sketch, small_stream):
+        restored = sketch_from_dict(sketch_to_dict(populated_sketch))
+        for node in small_stream.nodes()[:60]:
+            assert restored.successor_query(node) == populated_sketch.successor_query(node)
+            assert restored.precursor_query(node) == populated_sketch.precursor_query(node)
+
+    def test_round_trip_preserves_counters(self, populated_sketch):
+        restored = sketch_from_dict(sketch_to_dict(populated_sketch))
+        assert restored.matrix_edge_count == populated_sketch.matrix_edge_count
+        assert restored.buffer_edge_count == populated_sketch.buffer_edge_count
+        assert restored.update_count == populated_sketch.update_count
+        assert restored.config == populated_sketch.config
+
+    def test_restored_sketch_accepts_new_updates(self, populated_sketch):
+        restored = sketch_from_dict(sketch_to_dict(populated_sketch))
+        restored.update("brand-new-source", "brand-new-destination", 7.0)
+        assert restored.edge_query("brand-new-source", "brand-new-destination") == 7.0
+
+    def test_document_is_json_serializable(self, populated_sketch):
+        document = sketch_to_dict(populated_sketch)
+        assert document["format_version"] == FORMAT_VERSION
+        json.dumps(document)  # must not raise
+
+    def test_unknown_version_rejected(self, populated_sketch):
+        document = sketch_to_dict(populated_sketch)
+        document["format_version"] = 999
+        with pytest.raises(ValueError):
+            sketch_from_dict(document)
+
+    def test_without_node_index(self, populated_sketch, small_stream):
+        document = sketch_to_dict(populated_sketch, include_node_index=False)
+        assert "node_index" not in document
+        restored = sketch_from_dict(document)
+        key = next(iter(small_stream.aggregate_weights()))
+        assert restored.edge_query(*key) == populated_sketch.edge_query(*key)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path, populated_sketch, small_stream):
+        path = tmp_path / "sketch.json"
+        save_sketch(populated_sketch, path)
+        restored = load_sketch(path)
+        truth = small_stream.aggregate_weights()
+        for key in list(truth)[:200]:
+            assert restored.edge_query(*key) == populated_sketch.edge_query(*key)
+        assert restored.buffer_edge_count == populated_sketch.buffer_edge_count

@@ -1,0 +1,104 @@
+"""Unit tests for the graph-stream model (edges, streams, statistics)."""
+
+import pytest
+
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream, stream_from_pairs
+
+
+class TestStreamEdge:
+    def test_key(self):
+        edge = StreamEdge("a", "b", 2.0, 1.0)
+        assert edge.key == ("a", "b")
+
+    def test_reversed(self):
+        edge = StreamEdge("a", "b", 2.0, 1.0, label="x")
+        swapped = edge.reversed()
+        assert swapped.source == "b" and swapped.destination == "a"
+        assert swapped.weight == 2.0 and swapped.label == "x"
+
+    def test_with_weight(self):
+        assert StreamEdge("a", "b", 1.0).with_weight(5.0).weight == 5.0
+
+    def test_is_deletion(self):
+        assert StreamEdge("a", "b", -1.0).is_deletion()
+        assert not StreamEdge("a", "b", 1.0).is_deletion()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            StreamEdge("a", "b").weight = 3.0
+
+
+class TestGraphStream:
+    def test_length_and_iteration(self, paper_stream):
+        assert len(paper_stream) == 15
+        assert sum(1 for _ in paper_stream) == 15
+
+    def test_indexing_and_slicing(self, paper_stream):
+        assert paper_stream[0].source == "a"
+        window = paper_stream[0:5]
+        assert isinstance(window, GraphStream)
+        assert len(window) == 5
+
+    def test_statistics_match_paper_example(self, paper_stream):
+        stats = paper_stream.statistics()
+        assert stats.item_count == 15
+        assert stats.node_count == 7          # a..g
+        assert stats.distinct_edges == 11     # (a,c) x3, (c,f) x2, (d,a) x2 merge
+        assert stats.total_weight == 20.0
+        assert stats.average_multiplicity == pytest.approx(15 / 11)
+
+    def test_aggregate_weights_sums_duplicates(self, paper_stream):
+        weights = paper_stream.aggregate_weights()
+        assert weights[("a", "c")] == 5.0
+        assert weights[("c", "f")] == 2.0
+        assert weights[("d", "a")] == 2.0
+        assert weights[("e", "b")] == 2.0
+
+    def test_successors_and_precursors(self, paper_stream):
+        successors = paper_stream.successors()
+        precursors = paper_stream.precursors()
+        assert successors["a"] == {"b", "c", "f", "e", "g"}
+        assert precursors["f"] == {"a", "c", "d"}
+
+    def test_node_out_weights(self, paper_stream):
+        out_weights = paper_stream.node_out_weights()
+        assert out_weights["a"] == 1 + 5 + 1 + 1 + 1  # b, c(x3), f, e, g
+        assert out_weights["e"] == 2.0
+
+    def test_nodes_first_seen_order(self, paper_stream):
+        assert paper_stream.nodes()[:4] == ["a", "b", "c", "d"]
+
+    def test_unique_edges(self, paper_stream):
+        unique = paper_stream.unique_edges()
+        assert len(unique) == 11
+        assert len(unique.distinct_edge_keys()) == 11
+
+    def test_window(self, paper_stream):
+        window = paper_stream.window(5, 5)
+        assert len(window) == 5
+        with pytest.raises(ValueError):
+            paper_stream.window(-1, 5)
+
+    def test_sorted_by_timestamp(self):
+        stream = GraphStream(
+            [StreamEdge("a", "b", 1, 5.0), StreamEdge("b", "c", 1, 1.0)]
+        )
+        assert stream.sorted_by_timestamp()[0].timestamp == 1.0
+
+    def test_append_and_extend(self):
+        stream = GraphStream()
+        stream.append(StreamEdge("a", "b"))
+        stream.extend([StreamEdge("b", "c"), StreamEdge("c", "d")])
+        assert len(stream) == 3
+
+    def test_stream_from_pairs(self):
+        stream = stream_from_pairs([("a", "b"), ("b", "c")], weights=[2.0, 3.0])
+        assert len(stream) == 2
+        assert stream[0].weight == 2.0
+        assert stream[1].timestamp == 1.0
+
+    def test_empty_statistics(self):
+        stats = GraphStream().statistics()
+        assert stats.item_count == 0
+        assert stats.average_multiplicity == 0.0

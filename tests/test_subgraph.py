@@ -1,0 +1,145 @@
+"""Unit tests for the labeled subgraph matcher and the exact-matcher baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.exact_matcher import WindowedExactMatcher
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.experiments.subgraph import random_walk_pattern
+from repro.queries.subgraph import (
+    LabeledDiGraph,
+    Pattern,
+    PatternEdge,
+    SubgraphMatcher,
+    count_subgraph_matches,
+)
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+
+
+@pytest.fixture()
+def labeled_graph() -> LabeledDiGraph:
+    graph = LabeledDiGraph()
+    graph.add_edge("a", "b", "x")
+    graph.add_edge("b", "c", "y")
+    graph.add_edge("a", "c", "x")
+    graph.add_edge("c", "d", "z")
+    return graph
+
+
+class TestLabeledDiGraph:
+    def test_edges_and_nodes(self, labeled_graph):
+        assert labeled_graph.edge_count() == 4
+        assert set(labeled_graph.nodes()) == {"a", "b", "c", "d"}
+
+    def test_has_edge_with_and_without_label(self, labeled_graph):
+        assert labeled_graph.has_edge("a", "b")
+        assert labeled_graph.has_edge("a", "b", "x")
+        assert not labeled_graph.has_edge("a", "b", "y")
+        assert not labeled_graph.has_edge("b", "a")
+
+    def test_successors_predecessors(self, labeled_graph):
+        assert labeled_graph.successors("a") == {"b": "x", "c": "x"}
+        assert labeled_graph.predecessors("c") == {"b": "y", "a": "x"}
+
+    def test_from_stream(self, paper_stream):
+        graph = LabeledDiGraph.from_stream(paper_stream)
+        assert graph.edge_count() == 11
+        assert graph.has_edge("a", "c")
+
+    def test_from_store_uses_primitives(self, paper_stream):
+        sketch = GSS(GSSConfig(matrix_width=8, sequence_length=4, candidate_buckets=4))
+        sketch.ingest(paper_stream)
+        graph = LabeledDiGraph.from_store(sketch, paper_stream.nodes())
+        for source, destination in paper_stream.distinct_edge_keys():
+            assert graph.has_edge(source, destination)
+
+
+class TestPattern:
+    def test_variables_order(self):
+        pattern = Pattern.from_tuples([("u", "v", ""), ("v", "w", "")])
+        assert pattern.variables == ["u", "v", "w"]
+        assert len(pattern) == 2
+
+
+class TestSubgraphMatcher:
+    def test_single_edge_pattern(self, labeled_graph):
+        pattern = Pattern([PatternEdge("u", "v", "x")])
+        matcher = SubgraphMatcher(labeled_graph)
+        matches = matcher.find_all(pattern)
+        found = {(m["u"], m["v"]) for m in matches}
+        assert found == {("a", "b"), ("a", "c")}
+
+    def test_path_pattern(self, labeled_graph):
+        pattern = Pattern.from_tuples([("u", "v", "x"), ("v", "w", "y")])
+        match = SubgraphMatcher(labeled_graph).find_one(pattern)
+        assert match == {"u": "a", "v": "b", "w": "c"}
+
+    def test_unlabeled_pattern_matches_any_label(self, labeled_graph):
+        pattern = Pattern.from_tuples([("u", "v", ""), ("v", "w", "")])
+        assert SubgraphMatcher(labeled_graph).count(pattern) >= 2
+
+    def test_absent_pattern(self, labeled_graph):
+        pattern = Pattern.from_tuples([("u", "v", "missing-label")])
+        assert SubgraphMatcher(labeled_graph).find_one(pattern) is None
+
+    def test_injectivity(self):
+        graph = LabeledDiGraph()
+        graph.add_edge("a", "b")
+        pattern = Pattern.from_tuples([("u", "v", ""), ("v", "w", "")])
+        # needs two edges, graph has one: no match even though u->v matches.
+        assert SubgraphMatcher(graph).find_one(pattern) is None
+
+    def test_triangle_pattern(self):
+        graph = LabeledDiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "a")
+        pattern = Pattern.from_tuples([("x", "y", ""), ("y", "z", ""), ("z", "x", "")])
+        matches = SubgraphMatcher(graph).find_all(pattern)
+        assert len(matches) == 3  # three rotations of the same triangle
+
+    def test_count_helper_and_limit(self, labeled_graph):
+        pattern = Pattern([PatternEdge("u", "v", "")])
+        assert count_subgraph_matches(labeled_graph, pattern) == 4
+        assert count_subgraph_matches(labeled_graph, pattern, limit=2) == 2
+
+    def test_empty_pattern_has_no_matches(self, labeled_graph):
+        assert SubgraphMatcher(labeled_graph).find_all(Pattern([])) == []
+
+
+class TestWindowedExactMatcher:
+    def test_finds_existing_pattern(self):
+        window = GraphStream(
+            [
+                StreamEdge("a", "b", label="t"),
+                StreamEdge("b", "c", label="t"),
+                StreamEdge("c", "d", label="u"),
+            ]
+        )
+        matcher = WindowedExactMatcher(window)
+        pattern = Pattern.from_tuples([("x", "y", "t"), ("y", "z", "t")])
+        assert matcher.find_match(pattern) == {"x": "a", "y": "b", "z": "c"}
+        assert matcher.count_matches(pattern) == 1
+        assert matcher.contains_edges([("a", "b"), ("b", "c")])
+        assert not matcher.contains_edges([("d", "a")])
+        assert matcher.update_count == 3
+
+
+class TestRandomWalkPattern:
+    def test_extracted_pattern_matches_its_own_graph(self, paper_stream):
+        graph = LabeledDiGraph.from_stream(paper_stream)
+        rng = random.Random(5)
+        extracted = random_walk_pattern(graph, 3, rng)
+        assert extracted is not None
+        pattern, instance = extracted
+        assert len(pattern) == 3
+        assert SubgraphMatcher(graph).find_one(pattern) is not None
+        # the recorded instance really is an embedding
+        for edge in pattern.edges:
+            assert graph.has_edge(instance[edge.source], instance[edge.destination])
+
+    def test_returns_none_on_empty_graph(self):
+        assert random_walk_pattern(LabeledDiGraph(), 3, random.Random(1)) is None

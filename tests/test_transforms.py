@@ -1,0 +1,136 @@
+"""Tests for stream transformations (filter, sample, map, split, merge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream
+from repro.streaming.transforms import (
+    deduplicate,
+    filter_by_nodes,
+    filter_by_weight,
+    filter_edges,
+    head,
+    map_nodes,
+    map_weights,
+    merge_streams,
+    rate_per_interval,
+    reverse_edges,
+    sample_stream,
+    split_by,
+    split_by_time,
+)
+
+
+@pytest.fixture()
+def stream() -> GraphStream:
+    items = [
+        StreamEdge("a", "b", weight=1.0, timestamp=0.0, label="L0"),
+        StreamEdge("a", "c", weight=5.0, timestamp=1.0, label="L1"),
+        StreamEdge("b", "c", weight=2.0, timestamp=2.0, label="L0"),
+        StreamEdge("a", "b", weight=3.0, timestamp=10.0, label="L0"),
+        StreamEdge("c", "a", weight=4.0, timestamp=11.0, label="L1"),
+    ]
+    return GraphStream(items, name="toy")
+
+
+class TestFilters:
+    def test_filter_edges(self, stream):
+        filtered = filter_edges(stream, lambda edge: edge.source == "a")
+        assert len(filtered) == 3
+        assert all(edge.source == "a" for edge in filtered)
+
+    def test_filter_by_weight(self, stream):
+        assert len(filter_by_weight(stream, 3.0)) == 3
+
+    def test_filter_by_nodes(self, stream):
+        induced = filter_by_nodes(stream, ["a", "b"])
+        assert {edge.key for edge in induced} == {("a", "b")}
+
+    def test_head(self, stream):
+        assert len(head(stream, 2)) == 2
+        with pytest.raises(ValueError):
+            head(stream, -1)
+
+    def test_sample_rate_bounds(self, stream):
+        assert len(sample_stream(stream, 0.0)) == 0
+        assert len(sample_stream(stream, 1.0)) == len(stream)
+        with pytest.raises(ValueError):
+            sample_stream(stream, 1.5)
+
+    def test_sample_deterministic(self, stream):
+        assert [e.key for e in sample_stream(stream, 0.5, seed=3)] == [
+            e.key for e in sample_stream(stream, 0.5, seed=3)
+        ]
+
+
+class TestMaps:
+    def test_map_nodes(self, stream):
+        upper = map_nodes(stream, lambda node: node.upper())
+        assert upper[0].source == "A"
+        assert len(upper) == len(stream)
+
+    def test_map_weights(self, stream):
+        doubled = map_weights(stream, lambda weight: weight * 2)
+        assert doubled[1].weight == 10.0
+
+    def test_reverse_edges(self, stream):
+        reversed_stream = reverse_edges(stream)
+        assert reversed_stream[0].key == ("b", "a")
+        assert len(reversed_stream) == len(stream)
+
+
+class TestMergeSplit:
+    def test_merge_orders_by_timestamp(self):
+        first = GraphStream([StreamEdge("a", "b", timestamp=5.0)], name="one")
+        second = GraphStream([StreamEdge("c", "d", timestamp=1.0)], name="two")
+        merged = merge_streams(first, second)
+        assert merged[0].key == ("c", "d")
+        assert merged.name == "one+two"
+
+    def test_merge_explicit_name(self):
+        merged = merge_streams(GraphStream([], name="x"), name="combined")
+        assert merged.name == "combined"
+
+    def test_split_by_label(self, stream):
+        groups = split_by(stream, lambda edge: edge.label)
+        assert set(groups) == {"L0", "L1"}
+        assert len(groups["L0"]) == 3
+
+    def test_split_by_time(self, stream):
+        pieces = split_by_time(stream, interval=5.0)
+        assert len(pieces) == 3
+        assert len(pieces[0]) == 3
+        assert len(pieces[2]) == 2
+
+    def test_split_by_time_empty_stream(self):
+        assert split_by_time(GraphStream([]), 5.0) == []
+
+    def test_split_by_time_rejects_bad_interval(self, stream):
+        with pytest.raises(ValueError):
+            split_by_time(stream, 0.0)
+
+    def test_rate_per_interval(self, stream):
+        rates = rate_per_interval(stream, interval=5.0)
+        assert rates[0] == (0.0, 3)
+        assert rates[-1][1] == 2
+
+    def test_rate_per_interval_empty(self):
+        assert rate_per_interval(GraphStream([]), 5.0) == []
+
+
+class TestDeduplicate:
+    def test_keep_first(self, stream):
+        unique = deduplicate(stream, keep="first")
+        assert len(unique) == 4
+        assert unique.aggregate_weights()[("a", "b")] == 1.0
+
+    def test_keep_sum(self, stream):
+        summed = deduplicate(stream, keep="sum")
+        assert len(summed) == 4
+        assert summed.aggregate_weights()[("a", "b")] == 4.0
+
+    def test_invalid_mode(self, stream):
+        with pytest.raises(ValueError):
+            deduplicate(stream, keep="last")

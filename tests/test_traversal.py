@@ -1,0 +1,174 @@
+"""Tests for the traversal algorithms built on the query primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GSSConfig
+from repro.core.gss import GSS
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.queries.traversal import (
+    ancestors,
+    bfs_levels,
+    bfs_order,
+    descendants,
+    dfs_order,
+    has_cycle,
+    strongly_connected_components,
+    topological_order,
+)
+
+
+def chain_store(length: int = 5) -> AdjacencyListGraph:
+    """n0 -> n1 -> ... -> n{length-1}."""
+    store = AdjacencyListGraph()
+    for index in range(length - 1):
+        store.update(f"n{index}", f"n{index + 1}")
+    return store
+
+
+def diamond_store() -> AdjacencyListGraph:
+    """a -> b, a -> c, b -> d, c -> d."""
+    store = AdjacencyListGraph()
+    for source, destination in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]:
+        store.update(source, destination)
+    return store
+
+
+class TestBFS:
+    def test_order_starts_at_root(self):
+        assert bfs_order(chain_store(), "n0")[0] == "n0"
+
+    def test_chain_visits_every_node(self):
+        assert bfs_order(chain_store(5), "n0") == ["n0", "n1", "n2", "n3", "n4"]
+
+    def test_node_limit_caps_visits(self):
+        assert len(bfs_order(chain_store(10), "n0", node_limit=3)) == 3
+
+    def test_unreachable_nodes_excluded(self):
+        store = diamond_store()
+        store.update("x", "y")
+        assert "x" not in bfs_order(store, "a")
+
+    def test_levels_are_hop_distances(self):
+        levels = bfs_levels(diamond_store(), "a")
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_levels_max_depth(self):
+        levels = bfs_levels(chain_store(6), "n0", max_depth=2)
+        assert max(levels.values()) == 2
+        assert "n3" not in levels
+
+    def test_levels_node_limit(self):
+        levels = bfs_levels(chain_store(10), "n0", node_limit=4)
+        assert len(levels) == 4
+
+
+class TestDFS:
+    def test_order_starts_at_root(self):
+        assert dfs_order(diamond_store(), "a")[0] == "a"
+
+    def test_chain_same_as_bfs(self):
+        assert dfs_order(chain_store(4), "n0") == ["n0", "n1", "n2", "n3"]
+
+    def test_visits_all_reachable(self):
+        assert set(dfs_order(diamond_store(), "a")) == {"a", "b", "c", "d"}
+
+    def test_node_limit(self):
+        assert len(dfs_order(chain_store(10), "n0", node_limit=5)) == 5
+
+    def test_deterministic(self):
+        store = diamond_store()
+        assert dfs_order(store, "a") == dfs_order(store, "a")
+
+
+class TestDescendantsAncestors:
+    def test_descendants_exclude_start(self):
+        assert descendants(diamond_store(), "a") == {"b", "c", "d"}
+
+    def test_descendants_of_sink_empty(self):
+        assert descendants(diamond_store(), "d") == set()
+
+    def test_ancestors_exclude_target(self):
+        assert ancestors(diamond_store(), "d") == {"a", "b", "c"}
+
+    def test_ancestors_of_source_empty(self):
+        assert ancestors(diamond_store(), "a") == set()
+
+
+class TestStronglyConnectedComponents:
+    def test_dag_gives_singletons(self):
+        components = strongly_connected_components(diamond_store(), ["a", "b", "c", "d"])
+        assert sorted(len(c) for c in components) == [1, 1, 1, 1]
+
+    def test_cycle_is_one_component(self):
+        store = AdjacencyListGraph()
+        for source, destination in [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]:
+            store.update(source, destination)
+        components = strongly_connected_components(store, ["a", "b", "c", "d"])
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 3]
+        assert {"a", "b", "c"} in components
+
+    def test_every_node_assigned_once(self):
+        store = diamond_store()
+        nodes = ["a", "b", "c", "d"]
+        components = strongly_connected_components(store, nodes)
+        assigned = [node for component in components for node in component]
+        assert sorted(assigned, key=repr) == sorted(nodes, key=repr)
+
+
+class TestTopologicalOrder:
+    def test_dag_order_respects_edges(self):
+        store = diamond_store()
+        order = topological_order(store, ["a", "b", "c", "d"])
+        assert order is not None
+        position = {node: index for index, node in enumerate(order)}
+        assert position["a"] < position["b"] < position["d"]
+        assert position["a"] < position["c"] < position["d"]
+
+    def test_cycle_returns_none(self):
+        store = AdjacencyListGraph()
+        store.update("a", "b")
+        store.update("b", "a")
+        assert topological_order(store, ["a", "b"]) is None
+
+    def test_has_cycle(self):
+        store = AdjacencyListGraph()
+        store.update("a", "b")
+        store.update("b", "a")
+        assert has_cycle(store, ["a", "b"])
+        assert not has_cycle(diamond_store(), ["a", "b", "c", "d"])
+
+
+class TestOnSketch:
+    """The traversals must run unchanged on a GSS and cover the true graph."""
+
+    @pytest.fixture()
+    def sketch(self, small_stream):
+        stats = small_stream.statistics()
+        config = GSSConfig.for_edge_count(
+            stats.distinct_edges, sequence_length=4, candidate_buckets=4
+        )
+        return GSS(config).ingest(small_stream)
+
+    def test_bfs_covers_exact_reachable_set(self, small_stream, sketch):
+        exact = AdjacencyListGraph()
+        for edge in small_stream:
+            exact.update(edge.source, edge.destination, edge.weight)
+        start = small_stream.nodes()[0]
+        exact_reach = set(bfs_order(exact, start, node_limit=200))
+        sketch_reach = set(bfs_order(sketch, start, node_limit=5000))
+        # The sketch has only false positives, so it reaches at least as much.
+        assert exact_reach <= sketch_reach or len(sketch_reach) >= 200
+
+    def test_levels_never_deeper_than_exact(self, small_stream, sketch):
+        exact = AdjacencyListGraph()
+        for edge in small_stream:
+            exact.update(edge.source, edge.destination, edge.weight)
+        start = small_stream.nodes()[0]
+        exact_levels = bfs_levels(exact, start, max_depth=3)
+        sketch_levels = bfs_levels(sketch, start, max_depth=3)
+        for node, depth in exact_levels.items():
+            assert node in sketch_levels
+            assert sketch_levels[node] <= depth

@@ -1,0 +1,84 @@
+"""Unit tests for the edge-weight-only baselines: CM, CU and gSketch."""
+
+import pytest
+
+from repro.baselines.cm_sketch import CountMinSketch
+from repro.baselines.cu_sketch import CountMinCUSketch
+from repro.baselines.gsketch import GSketch
+from repro.queries.primitives import consume_stream
+
+
+@pytest.fixture(params=[CountMinSketch, CountMinCUSketch])
+def cm_class(request):
+    return request.param
+
+
+class TestCountMinFamily:
+    def test_rejects_bad_parameters(self, cm_class):
+        with pytest.raises(ValueError):
+            cm_class(width=0)
+        with pytest.raises(ValueError):
+            cm_class(width=8, depth=0)
+
+    def test_never_underestimates(self, cm_class, paper_stream):
+        sketch = consume_stream(cm_class(width=64, depth=4), paper_stream)
+        for key, weight in paper_stream.aggregate_weights().items():
+            assert sketch.edge_query(*key) >= weight
+
+    def test_exact_when_wide_enough(self, cm_class, paper_stream):
+        sketch = consume_stream(cm_class(width=4096, depth=4), paper_stream)
+        truth = paper_stream.aggregate_weights()
+        exact_hits = sum(1 for key, weight in truth.items() if sketch.edge_query(*key) == weight)
+        assert exact_hits >= len(truth) - 1
+
+    def test_memory_model(self, cm_class):
+        assert cm_class(width=100, depth=4).memory_bytes() == 1600
+
+    def test_update_count(self, cm_class, paper_stream):
+        sketch = consume_stream(cm_class(width=16, depth=2), paper_stream)
+        assert sketch.update_count == len(paper_stream)
+
+    def test_has_no_topology_queries(self, cm_class):
+        sketch = cm_class(width=16)
+        assert not hasattr(sketch, "successor_query")
+        assert not hasattr(sketch, "precursor_query")
+
+
+class TestConservativeUpdate:
+    def test_cu_estimates_at_most_cm(self, small_stream):
+        cm = consume_stream(CountMinSketch(width=64, depth=4, seed=5), small_stream)
+        cu = consume_stream(CountMinCUSketch(width=64, depth=4, seed=5), small_stream)
+        truth = small_stream.aggregate_weights()
+        for key in list(truth)[:300]:
+            assert cu.edge_query(*key) <= cm.edge_query(*key) + 1e-9
+
+    def test_cu_negative_weight_falls_back(self):
+        cu = CountMinCUSketch(width=32, depth=2)
+        cu.update("a", "b", 5.0)
+        cu.update("a", "b", -2.0)
+        assert cu.edge_query("a", "b") >= 3.0
+
+
+class TestGSketch:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GSketch(total_width=4, partitions=0)
+        with pytest.raises(ValueError):
+            GSketch(total_width=2, partitions=8)
+
+    def test_never_underestimates(self, paper_stream):
+        sketch = consume_stream(GSketch(total_width=256, partitions=4), paper_stream)
+        for key, weight in paper_stream.aggregate_weights().items():
+            assert sketch.edge_query(*key) >= weight
+
+    def test_partitioning_routes_by_source(self):
+        sketch = GSketch(total_width=64, partitions=8)
+        assert sketch._partition_of("a") == sketch._partition_of("a")
+
+    def test_memory_is_sum_of_partitions(self):
+        sketch = GSketch(total_width=64, partitions=8, depth=2)
+        assert sketch.memory_bytes() == 8 * (64 // 8) * 2 * 4
+
+    def test_update_count(self, paper_stream):
+        sketch = consume_stream(GSketch(total_width=64, partitions=4), paper_stream)
+        assert sketch.update_count == len(paper_stream)

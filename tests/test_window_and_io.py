@@ -1,0 +1,79 @@
+"""Unit tests for windowing and stream file IO."""
+
+import pytest
+
+from repro.streaming.edge import StreamEdge
+from repro.streaming.io import read_edge_file, write_edge_file
+from repro.streaming.stream import GraphStream
+from repro.streaming.window import SlidingWindow, tumbling_windows
+
+
+class TestSlidingWindow:
+    def test_push_below_capacity_returns_none(self):
+        window = SlidingWindow(3)
+        assert window.push(StreamEdge("a", "b")) is None
+        assert len(window) == 1
+        assert not window.is_full
+
+    def test_eviction_order_is_fifo(self):
+        window = SlidingWindow(2)
+        first = StreamEdge("a", "b")
+        window.push(first)
+        window.push(StreamEdge("b", "c"))
+        evicted = window.push(StreamEdge("c", "d"))
+        assert evicted is first
+        assert len(window) == 2
+        assert window.is_full
+
+    def test_to_stream(self):
+        window = SlidingWindow(2)
+        window.push(StreamEdge("a", "b"))
+        stream = window.to_stream(name="w")
+        assert isinstance(stream, GraphStream)
+        assert len(stream) == 1
+        assert stream.name == "w"
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestTumblingWindows:
+    def test_covers_whole_stream(self, paper_stream):
+        windows = list(tumbling_windows(paper_stream, 4))
+        assert sum(len(w) for w in windows) == len(paper_stream)
+        assert len(windows) == 4  # 4 + 4 + 4 + 3
+
+    def test_rejects_bad_size(self, paper_stream):
+        with pytest.raises(ValueError):
+            list(tumbling_windows(paper_stream, 0))
+
+
+class TestStreamIO:
+    def test_round_trip(self, tmp_path, paper_stream):
+        path = tmp_path / "stream.txt"
+        write_edge_file(paper_stream, path)
+        loaded = read_edge_file(path, name="figure1")
+        assert len(loaded) == len(paper_stream)
+        assert loaded[0].source == "a" and loaded[0].destination == "b"
+        assert loaded.aggregate_weights()[("a", "c")] == 5.0
+
+    def test_labels_survive_round_trip(self, tmp_path):
+        stream = GraphStream([StreamEdge("x", "y", 1.0, 0.0, label="tcp")])
+        path = tmp_path / "labeled.txt"
+        write_edge_file(stream, path)
+        assert read_edge_file(path)[0].label == "tcp"
+
+    def test_reads_bare_edge_lists(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# comment\n1 2\n2 3\n")
+        stream = read_edge_file(path)
+        assert len(stream) == 2
+        assert stream[0].weight == 1.0
+        assert stream[1].timestamp == 2.0  # line position
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("only_one_field\n")
+        with pytest.raises(ValueError):
+            read_edge_file(path)
