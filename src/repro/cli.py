@@ -97,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="tiny smoke-test configuration"
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "chunk size for the batched update_many ingestion measured by "
+            "tab1 (default 1024)"
+        ),
+    )
+    parser.add_argument(
         "--paper-scale",
         action="store_true",
         help="full configuration: all five datasets, full query sets",
@@ -118,6 +127,10 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config.dataset_scale = args.scale
     if args.datasets is not None:
         config.datasets = tuple(args.datasets)
+    if args.batch_size is not None:
+        if args.batch_size < 1:
+            raise SystemExit("--batch-size must be at least 1")
+        config.extras["batch_size"] = args.batch_size
     return config
 
 

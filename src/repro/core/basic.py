@@ -75,7 +75,12 @@ class GSSBasic:
     # -- primitives ------------------------------------------------------------
 
     def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Weight of the edge, or ``EDGE_NOT_FOUND`` when absent."""
+        """Weight of the edge, or ``EDGE_NOT_FOUND`` when absent (legacy)."""
+        weight = self.edge_query_opt(source, destination)
+        return EDGE_NOT_FOUND if weight is None else weight
+
+    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Weight of the edge, or ``None`` when absent (deletion-safe)."""
         source_hash = self._hasher(source)
         destination_hash = self._hasher(destination)
         source_address, source_fp = self._split(source_hash)
@@ -83,10 +88,7 @@ class GSSBasic:
         cell = self._cells[source_address * self.matrix_width + destination_address]
         if cell is not None and cell[0] == source_fp and cell[1] == destination_fp:
             return cell[2]
-        buffered = self._buffer.get(source_hash, destination_hash)
-        if buffered is not None:
-            return buffered
-        return EDGE_NOT_FOUND
+        return self._buffer.get(source_hash, destination_hash)
 
     def successor_hashes(self, node: Hashable) -> Set[int]:
         """Sketch hashes of 1-hop successors: scan the node's row."""

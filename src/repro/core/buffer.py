@@ -8,7 +8,7 @@ directions so successor and precursor queries can consult it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 
 class LeftoverBuffer:
@@ -42,7 +42,9 @@ class LeftoverBuffer:
         """Return the buffered weight; raises ``KeyError`` when absent."""
         return self._out[source_hash][destination_hash]
 
-    def get(self, source_hash: int, destination_hash: int, default: float = None) -> float:
+    def get(
+        self, source_hash: int, destination_hash: int, default: Optional[float] = None
+    ) -> Optional[float]:
         """Return the buffered weight or ``default`` when absent."""
         return self._out.get(source_hash, {}).get(destination_hash, default)
 

@@ -21,7 +21,7 @@ guarantees (never under-estimate, never miss a true neighbor).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Hashable, List, Set
+from typing import Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
@@ -75,10 +75,17 @@ class GSSEnsemble:
         for member in self._members:
             member.update(source, destination, weight)
 
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of ``(source, destination, weight)`` items to every member."""
+        triples = list(items)
+        for member in self._members:
+            member.update_many(triples)
+        self._update_count += len(triples)
+        return len(triples)
+
     def ingest(self, edges) -> "GSSEnsemble":
         """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
-        for edge in edges:
-            self.update(edge.source, edge.destination, edge.weight)
+        self.update_many((edge.source, edge.destination, edge.weight) for edge in edges)
         return self
 
     # -- query primitives ------------------------------------------------------
@@ -87,14 +94,22 @@ class GSSEnsemble:
         """Minimum of the members' estimates (the most accurate one).
 
         Returns ``-1`` only when every member reports the edge as absent,
-        which preserves the no-false-negative property.
+        which preserves the no-false-negative property.  Legacy sentinel
+        interface; see :meth:`edge_query_opt` for the deletion-safe variant.
         """
-        estimates = [member.edge_query(source, destination) for member in self._members]
-        present = [estimate for estimate in estimates if estimate != EDGE_NOT_FOUND]
-        if len(present) < len(estimates):
-            # At least one member is certain the edge never appeared.
-            return EDGE_NOT_FOUND
-        return min(present)
+        weight = self.edge_query_opt(source, destination)
+        return EDGE_NOT_FOUND if weight is None else weight
+
+    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Minimum of the members' estimates, or ``None`` when any member is
+        certain the edge never appeared."""
+        estimates = []
+        for member in self._members:
+            estimate = member.edge_query_opt(source, destination)
+            if estimate is None:
+                return None
+            estimates.append(estimate)
+        return min(estimates)
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Intersection of the members' successor sets."""

@@ -11,11 +11,22 @@ linear-congruential sequence seeded by its fingerprint, and candidate-bucket
 sampling probes only ``k`` of the resulting ``r * r`` buckets per edge.  Both
 optimizations — and the number of rooms — can be switched off to reproduce the
 paper's ablations.
+
+The matrix backend is *occupancy-indexed*: per-row and per-column occupancy
+sets record which buckets hold at least one room, and a room map keyed by
+``(row, column, fingerprints, indices)`` gives O(1) room lookups.  Successor,
+precursor and reconstruction scans therefore touch only occupied buckets —
+work proportional to the number of stored edges, not to ``r * m`` matrix
+slots — which is what makes the paper's O(1)-update / 1-hop-query claims hold
+in this pure-Python reproduction.  ``update_many`` additionally batches
+stream items so hashing, hash splitting and address-sequence computation are
+performed once per distinct node/edge instead of once per item.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from bisect import insort
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.buffer import LeftoverBuffer
 from repro.core.config import GSSConfig
@@ -29,6 +40,11 @@ from repro.hashing.linear_congruence import (
     unique_candidates,
 )
 from repro.queries.primitives import EDGE_NOT_FOUND
+
+#: Cap on the memoized candidate-pair sequences (one entry per distinct
+#: fingerprint pair seen).  Past the cap, sequences are recomputed instead of
+#: cached so a long-running process cannot grow without bound.
+_CANDIDATE_CACHE_LIMIT = 1 << 16
 
 # A room is a mutable 5-slot list: [f_s, f_d, i_s, i_d, weight].
 _ROOM_SOURCE_FP = 0
@@ -64,6 +80,16 @@ class GSS:
         self._matrix_edge_count = 0
         self._update_count = 0
         self._address_cache: Dict[int, List[int]] = {}
+        self._candidate_cache: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # Occupancy indexes: which columns of each row (and rows of each
+        # column) hold at least one room, kept as ascending sorted lists so
+        # scans need no per-query sort.  Buckets never empty out, so the
+        # indexes only grow and stay exact without any eviction logic.
+        self._row_occupancy: Dict[int, List[int]] = {}
+        self._col_occupancy: Dict[int, List[int]] = {}
+        # Fingerprint-bucketed room map: (row, column, f_s, f_d, i_s, i_d) ->
+        # the room list itself, for O(1) aggregation and edge queries.
+        self._room_map: Dict[Tuple[int, int, int, int, int, int], List] = {}
 
     # -- hashing helpers -----------------------------------------------------
 
@@ -101,21 +127,32 @@ class GSS:
 
         Returns 0-based indices into the two address sequences, in probe
         order.  Without square hashing there is a single pair; without
-        sampling all ``r * r`` pairs are probed row-first.
+        sampling all ``r * r`` pairs are probed row-first.  Results are cached
+        per fingerprint pair — the sequence depends only on the fingerprints,
+        and real streams revisit the same node pairs constantly.
         """
+        key = (source_fingerprint, destination_fingerprint)
+        cached = self._candidate_cache.get(key)
+        if cached is not None:
+            return cached
         if not self.config.square_hashing:
-            return [(0, 0)]
-        r = self.config.sequence_length
-        if not self.config.sampling:
-            return [(i, j) for i in range(r) for j in range(r)]
-        pairs = candidate_sequence(
-            source_fingerprint,
-            destination_fingerprint,
-            self.config.candidate_buckets,
-            r,
-            self._lcg,
-        )
-        return unique_candidates(pairs)
+            pairs = [(0, 0)]
+        elif not self.config.sampling:
+            r = self.config.sequence_length
+            pairs = [(i, j) for i in range(r) for j in range(r)]
+        else:
+            pairs = unique_candidates(
+                candidate_sequence(
+                    source_fingerprint,
+                    destination_fingerprint,
+                    self.config.candidate_buckets,
+                    self.config.sequence_length,
+                    self._lcg,
+                )
+            )
+        if len(self._candidate_cache) < _CANDIDATE_CACHE_LIMIT:
+            self._candidate_cache[key] = pairs
+        return pairs
 
     def _bucket_at(self, row: int, column: int) -> Optional[List[List]]:
         return self._buckets[row * self._width + column]
@@ -127,6 +164,42 @@ class GSS:
             bucket = []
             self._buckets[position] = bucket
         return bucket
+
+    def _register_room(self, row: int, column: int, room: List) -> None:
+        """Store one room and keep every matrix index in sync.
+
+        All room insertions — updates, merges, deserialization — must go
+        through here so the occupancy sets and the room map stay exact.
+        """
+        bucket = self._ensure_bucket(row, column)
+        bucket.append(room)
+        self._room_map[
+            (
+                row,
+                column,
+                room[_ROOM_SOURCE_FP],
+                room[_ROOM_DEST_FP],
+                room[_ROOM_SOURCE_INDEX],
+                room[_ROOM_DEST_INDEX],
+            )
+        ] = room
+        if len(bucket) == 1:
+            # First room in this bucket: the bucket just became occupied.
+            insort(self._row_occupancy.setdefault(row, []), column)
+            insort(self._col_occupancy.setdefault(column, []), row)
+        self._matrix_edge_count += 1
+
+    def occupied_buckets(self) -> Iterator[Tuple[int, int, List[List]]]:
+        """Yield ``(row, column, bucket)`` for every non-empty bucket.
+
+        Iteration is row-major (ascending row, then column), matching a full
+        matrix scan, but only touches occupied positions.
+        """
+        for row in sorted(self._row_occupancy):
+            for column in self._row_occupancy[row]:
+                bucket = self._bucket_at(row, column)
+                if bucket:
+                    yield row, column, bucket
 
     # -- updates ---------------------------------------------------------------
 
@@ -156,6 +229,61 @@ class GSS:
         self._update_count += 1
         self._insert_sketch_edge(source_hash, destination_hash, weight)
 
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of ``(source, destination, weight)`` stream items.
+
+        Equivalent to calling :meth:`update` once per item but measurably
+        faster: node hashes (and reverse-index registrations) are computed
+        once per distinct node, items targeting the same sketch edge are
+        pre-aggregated into a single insertion, and the address/candidate
+        caches are shared across the whole batch.  Pre-aggregation is exact
+        because a room, once placed, never moves — the first occurrence of an
+        edge determines its placement and later occurrences only add weight.
+
+        Returns the number of stream items applied.
+        """
+        hasher = self._hasher
+        node_index = self._node_index
+        hashes: Dict[Hashable, int] = {}
+        aggregated: Dict[Tuple[int, int], float] = {}
+        count = 0
+        for source, destination, weight in items:
+            count += 1
+            source_hash = hashes.get(source)
+            if source_hash is None:
+                source_hash = hashes[source] = hasher(source)
+                if node_index is not None:
+                    node_index.record(source, source_hash)
+            destination_hash = hashes.get(destination)
+            if destination_hash is None:
+                destination_hash = hashes[destination] = hasher(destination)
+                if node_index is not None:
+                    node_index.record(destination, destination_hash)
+            key = (source_hash, destination_hash)
+            aggregated[key] = aggregated.get(key, 0.0) + weight
+        self._update_count += count
+        for (source_hash, destination_hash), weight in aggregated.items():
+            self._insert_sketch_edge(source_hash, destination_hash, weight)
+        return count
+
+    def update_many_by_hash(self, edges: Iterable[Tuple[int, int, float]]) -> int:
+        """Batch variant of :meth:`update_by_hash` for merge/replay paths.
+
+        Accepts ``(H(s), H(d), weight)`` triples (the shape produced by
+        :meth:`reconstruct_sketch_edges`), pre-aggregates duplicates and
+        leaves the reverse node index untouched.  Returns the item count.
+        """
+        aggregated: Dict[Tuple[int, int], float] = {}
+        count = 0
+        for source_hash, destination_hash, weight in edges:
+            count += 1
+            key = (source_hash, destination_hash)
+            aggregated[key] = aggregated.get(key, 0.0) + weight
+        self._update_count += count
+        for (source_hash, destination_hash), weight in aggregated.items():
+            self._insert_sketch_edge(source_hash, destination_hash, weight)
+        return count
+
     def _insert_sketch_edge(
         self, source_hash: int, destination_hash: int, weight: float
     ) -> None:
@@ -165,36 +293,32 @@ class GSS:
         source_addresses = self._addresses(source_hash)
         destination_addresses = self._addresses(destination_hash)
         rooms_per_bucket = self.config.rooms
+        room_map = self._room_map
 
         for source_index, destination_index in self._candidate_pairs(source_fp, destination_fp):
             row = source_addresses[source_index]
             column = destination_addresses[destination_index]
-            bucket = self._bucket_at(row, column)
             stored_source_index = source_index + 1
             stored_destination_index = destination_index + 1
-            if bucket is not None:
-                for room in bucket:
-                    if (
-                        room[_ROOM_SOURCE_FP] == source_fp
-                        and room[_ROOM_DEST_FP] == destination_fp
-                        and room[_ROOM_SOURCE_INDEX] == stored_source_index
-                        and room[_ROOM_DEST_INDEX] == stored_destination_index
-                    ):
-                        room[_ROOM_WEIGHT] += weight
-                        return
-            occupied = 0 if bucket is None else len(bucket)
-            if occupied < rooms_per_bucket:
-                bucket = self._ensure_bucket(row, column)
-                bucket.append(
+            room = room_map.get(
+                (row, column, source_fp, destination_fp, stored_source_index, stored_destination_index)
+            )
+            if room is not None:
+                room[_ROOM_WEIGHT] += weight
+                return
+            bucket = self._bucket_at(row, column)
+            if bucket is None or len(bucket) < rooms_per_bucket:
+                self._register_room(
+                    row,
+                    column,
                     [
                         source_fp,
                         destination_fp,
                         stored_source_index,
                         stored_destination_index,
                         weight,
-                    ]
+                    ],
                 )
-                self._matrix_edge_count += 1
                 return
         self._buffer.add(source_hash, destination_hash, weight)
 
@@ -205,38 +329,55 @@ class GSS:
 
         Only over-estimation errors are possible (when the additions cumulate
         weights): if the true edge exists its weight is always reported.
+
+        .. note:: legacy sentinel interface.  The ``-1.0`` return value is the
+           paper's convention but collides with a real edge whose deletions
+           sum to exactly ``-1.0``; use :meth:`edge_query_opt` (``None`` when
+           absent) when the stream contains deletions.
+        """
+        weight = self.edge_query_opt(source, destination)
+        return EDGE_NOT_FOUND if weight is None else weight
+
+    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Edge query returning ``None`` when the edge is absent.
+
+        Unlike :meth:`edge_query`, the answer is unambiguous for streams with
+        deletions: a stored edge whose weights sum to ``-1.0`` is reported as
+        ``-1.0`` while a missing edge is reported as ``None``.
         """
         source_hash = self._hasher(source)
         destination_hash = self._hasher(destination)
-        return self.edge_query_by_hash(source_hash, destination_hash)
+        return self.edge_query_by_hash_opt(source_hash, destination_hash)
 
     def edge_query_by_hash(self, source_hash: int, destination_hash: int) -> float:
-        """Edge query addressed directly by sketch hashes."""
+        """Edge query addressed directly by sketch hashes (legacy sentinel)."""
+        weight = self.edge_query_by_hash_opt(source_hash, destination_hash)
+        return EDGE_NOT_FOUND if weight is None else weight
+
+    def edge_query_by_hash_opt(
+        self, source_hash: int, destination_hash: int
+    ) -> Optional[float]:
+        """Edge query by sketch hashes; ``None`` when the edge is absent."""
         _, source_fp = self._split(source_hash)
         _, destination_fp = self._split(destination_hash)
         source_addresses = self._addresses(source_hash)
         destination_addresses = self._addresses(destination_hash)
+        room_map = self._room_map
 
         for source_index, destination_index in self._candidate_pairs(source_fp, destination_fp):
-            row = source_addresses[source_index]
-            column = destination_addresses[destination_index]
-            bucket = self._bucket_at(row, column)
-            if bucket is None:
-                continue
-            stored_source_index = source_index + 1
-            stored_destination_index = destination_index + 1
-            for room in bucket:
-                if (
-                    room[_ROOM_SOURCE_FP] == source_fp
-                    and room[_ROOM_DEST_FP] == destination_fp
-                    and room[_ROOM_SOURCE_INDEX] == stored_source_index
-                    and room[_ROOM_DEST_INDEX] == stored_destination_index
-                ):
-                    return room[_ROOM_WEIGHT]
-        buffered = self._buffer.get(source_hash, destination_hash)
-        if buffered is not None:
-            return buffered
-        return EDGE_NOT_FOUND
+            room = room_map.get(
+                (
+                    source_addresses[source_index],
+                    destination_addresses[destination_index],
+                    source_fp,
+                    destination_fp,
+                    source_index + 1,
+                    destination_index + 1,
+                )
+            )
+            if room is not None:
+                return room[_ROOM_WEIGHT]
+        return self._buffer.get(source_hash, destination_hash)
 
     def successor_hashes(self, node: Hashable) -> Set[int]:
         """Sketch hashes of the 1-hop successors of ``node``."""
@@ -258,6 +399,61 @@ class GSS:
         column, the destination fingerprint and the destination index
         (Theorem 1 reversibility).  ``forward=False`` is the symmetric column
         scan for precursors.
+
+        Uses the occupancy indexes: only buckets that actually hold rooms are
+        visited, so the cost is proportional to the occupancy of the node's
+        ``r`` rows/columns instead of ``r * m`` matrix slots.
+        """
+        _, fingerprint = self._split(node_hash)
+        addresses = self._addresses(node_hash)
+        found: Set[int] = set()
+        width = self._width
+        occupancy = self._row_occupancy if forward else self._col_occupancy
+
+        own_fp_slot = _ROOM_SOURCE_FP if forward else _ROOM_DEST_FP
+        own_index_slot = _ROOM_SOURCE_INDEX if forward else _ROOM_DEST_INDEX
+        other_fp_slot = _ROOM_DEST_FP if forward else _ROOM_SOURCE_FP
+        other_index_slot = _ROOM_DEST_INDEX if forward else _ROOM_SOURCE_INDEX
+
+        for position, address in enumerate(addresses):
+            expected_index = position + 1
+            occupied = occupancy.get(address)
+            if not occupied:
+                continue
+            for offset in occupied:
+                if forward:
+                    bucket = self._bucket_at(address, offset)
+                else:
+                    bucket = self._bucket_at(offset, address)
+                if bucket is None:
+                    continue
+                for room in bucket:
+                    if room[own_fp_slot] != fingerprint:
+                        continue
+                    if room[own_index_slot] != expected_index:
+                        continue
+                    other_fp = room[other_fp_slot]
+                    other_index = room[other_index_slot]
+                    if self.config.square_hashing:
+                        other_base = recover_address(
+                            offset, other_fp, other_index, width, self._lcg
+                        )
+                    else:
+                        other_base = offset
+                    found.add(other_base * self._fingerprint_range + other_fp)
+
+        if forward:
+            found.update(self._buffer.successors_of(node_hash))
+        else:
+            found.update(self._buffer.precursors_of(node_hash))
+        return found
+
+    def _neighbor_hashes_unindexed(self, node_hash: int, forward: bool) -> Set[int]:
+        """Reference implementation of :meth:`_neighbor_hashes` without the
+        occupancy indexes: the original full ``r * m`` slot scan.
+
+        Kept for the property tests that assert the indexed scan returns
+        identical results; not used on any production path.
         """
         _, fingerprint = self._split(node_hash)
         addresses = self._addresses(node_hash)
@@ -330,9 +526,9 @@ class GSS:
         """
         node_hash = self._hasher(node)
         total = 0.0
-        for successor_hash in self._neighbor_hashes(node_hash, forward=True):
-            weight = self.edge_query_by_hash(node_hash, successor_hash)
-            if weight != EDGE_NOT_FOUND:
+        for successor_hash in sorted(self._neighbor_hashes(node_hash, forward=True)):
+            weight = self.edge_query_by_hash_opt(node_hash, successor_hash)
+            if weight is not None:
                 total += weight
         return total
 
@@ -340,9 +536,9 @@ class GSS:
         """Total weight of in-coming edges of ``node``."""
         node_hash = self._hasher(node)
         total = 0.0
-        for precursor_hash in self._neighbor_hashes(node_hash, forward=False):
-            weight = self.edge_query_by_hash(precursor_hash, node_hash)
-            if weight != EDGE_NOT_FOUND:
+        for precursor_hash in sorted(self._neighbor_hashes(node_hash, forward=False)):
+            weight = self.edge_query_by_hash_opt(precursor_hash, node_hash)
+            if weight is not None:
                 total += weight
         return total
 
@@ -351,7 +547,41 @@ class GSS:
         and buffer as ``(H(s), H(d), weight)`` triples.
 
         This demonstrates the paper's claim that the whole graph can be
-        re-constructed from the data structure.
+        re-constructed from the data structure.  The scan walks the occupancy
+        indexes in row-major order, so it costs O(stored edges) and yields the
+        same sequence a full matrix scan would.
+        """
+        edges: List[Tuple[int, int, float]] = []
+        width = self._width
+        for row, column, bucket in self.occupied_buckets():
+            for room in bucket:
+                source_fp = room[_ROOM_SOURCE_FP]
+                destination_fp = room[_ROOM_DEST_FP]
+                if self.config.square_hashing:
+                    source_base = recover_address(
+                        row, source_fp, room[_ROOM_SOURCE_INDEX], width, self._lcg
+                    )
+                    destination_base = recover_address(
+                        column, destination_fp, room[_ROOM_DEST_INDEX], width, self._lcg
+                    )
+                else:
+                    source_base = row
+                    destination_base = column
+                edges.append(
+                    (
+                        source_base * self._fingerprint_range + source_fp,
+                        destination_base * self._fingerprint_range + destination_fp,
+                        room[_ROOM_WEIGHT],
+                    )
+                )
+        edges.extend(self._buffer.edges())
+        return edges
+
+    def reconstruct_sketch_edges_unindexed(self) -> List[Tuple[int, int, float]]:
+        """Reference full ``m * m`` matrix scan of :meth:`reconstruct_sketch_edges`.
+
+        Kept so the property tests can assert the occupancy-indexed scan is
+        byte-identical; not used on any production path.
         """
         edges: List[Tuple[int, int, float]] = []
         width = self._width
@@ -432,6 +662,5 @@ class GSS:
 
     def ingest(self, edges: Sequence) -> "GSS":
         """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
-        for edge in edges:
-            self.update(edge.source, edge.destination, edge.weight)
+        self.update_many((edge.source, edge.destination, edge.weight) for edge in edges)
         return self

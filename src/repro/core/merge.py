@@ -54,8 +54,7 @@ def merge_into(target: GSS, source: GSS) -> GSS:
             f"source seed={source.config.seed}, width={source.config.matrix_width}, "
             f"fp_bits={source.config.fingerprint_bits})"
         )
-    for source_hash, destination_hash, weight in source.reconstruct_sketch_edges():
-        target.update_by_hash(source_hash, destination_hash, weight)
+    target.update_many_by_hash(source.reconstruct_sketch_edges())
     if source.node_index is not None and target.node_index is not None:
         for node in source.node_index.known_nodes():
             target.node_index.record(node, source.node_index.hash_of(node))

@@ -21,12 +21,11 @@ PageRank, ...) runs unchanged on top of a partitioned deployment.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
 from repro.hashing.hash_functions import hash_key
-from repro.queries.primitives import EDGE_NOT_FOUND
 
 
 class PartitionedGSS:
@@ -106,10 +105,28 @@ class PartitionedGSS:
         self._update_count += 1
         self._shards[self.shard_of(source)].update(source, destination, weight)
 
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of ``(source, destination, weight)`` stream items.
+
+        Items are grouped by owning shard first, so every shard ingests its
+        share through the batched :meth:`~repro.core.gss.GSS.update_many` fast
+        path.  Returns the number of items applied.
+        """
+        groups: Dict[int, List[Tuple[Hashable, Hashable, float]]] = {}
+        count = 0
+        for source, destination, weight in items:
+            count += 1
+            groups.setdefault(self.shard_of(source), []).append(
+                (source, destination, weight)
+            )
+        for shard_index, triples in groups.items():
+            self._shards[shard_index].update_many(triples)
+        self._update_count += count
+        return count
+
     def ingest(self, edges) -> "PartitionedGSS":
         """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
-        for edge in edges:
-            self.update(edge.source, edge.destination, edge.weight)
+        self.update_many((edge.source, edge.destination, edge.weight) for edge in edges)
         return self
 
     # -- query primitives ------------------------------------------------------
@@ -117,6 +134,10 @@ class PartitionedGSS:
     def edge_query(self, source: Hashable, destination: Hashable) -> float:
         """Edge query served by the single shard owning ``source``."""
         return self._shards[self.shard_of(source)].edge_query(source, destination)
+
+    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """``None``-based edge query served by the owning shard."""
+        return self._shards[self.shard_of(source)].edge_query_opt(source, destination)
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Successor query served by the single shard owning ``node``."""
@@ -209,8 +230,7 @@ class PartitionedGSS:
             )
         target = GSS(target_config)
         for shard in self._shards:
-            for source_hash, destination_hash, weight in shard.reconstruct_sketch_edges():
-                target.update_by_hash(source_hash, destination_hash, weight)
+            target.update_many_by_hash(shard.reconstruct_sketch_edges())
             if shard.node_index is not None and target.node_index is not None:
                 for node in shard.node_index.known_nodes():
                     target.node_index.record(node, shard.node_index.hash_of(node))

@@ -26,8 +26,22 @@ class NodeIndex:
         return node in self._hash_of
 
     def record(self, node: Hashable, node_hash: int) -> None:
-        """Remember that ``node`` hashes to ``node_hash``."""
-        if node in self._hash_of:
+        """Remember that ``node`` hashes to ``node_hash``.
+
+        Re-recording a node under the hash it already has is a harmless
+        no-op.  Re-recording it under a *different* hash — possible when
+        merging sketches built with different seeds — would silently corrupt
+        reverse lookups, so it raises ``ValueError`` instead.
+        """
+        existing = self._hash_of.get(node)
+        if existing is not None:
+            if existing != node_hash:
+                raise ValueError(
+                    f"node {node!r} is already registered under hash {existing} "
+                    f"and cannot be re-registered under {node_hash}; this "
+                    "usually means sketches built with different hash seeds "
+                    "are being combined"
+                )
             return
         self._hash_of[node] = node_hash
         self._originals_of.setdefault(node_hash, set()).add(node)

@@ -25,14 +25,10 @@ FORMAT_VERSION = 1
 def sketch_to_dict(sketch: GSS, include_node_index: bool = True) -> Dict:
     """Serialize a GSS into a plain dictionary (JSON-compatible)."""
     config = sketch.config
-    occupied = []
-    width = config.matrix_width
-    for row in range(width):
-        for column in range(width):
-            bucket = sketch._bucket_at(row, column)
-            if not bucket:
-                continue
-            occupied.append({"row": row, "column": column, "rooms": [list(room) for room in bucket]})
+    occupied = [
+        {"row": row, "column": column, "rooms": [list(room) for room in bucket]}
+        for row, column, bucket in sketch.occupied_buckets()
+    ]
     document = {
         "format_version": FORMAT_VERSION,
         "config": {
@@ -72,9 +68,10 @@ def sketch_from_dict(document: Dict) -> GSS:
     config = GSSConfig(**document["config"])
     sketch = GSS(config)
     for entry in document["buckets"]:
-        bucket = sketch._ensure_bucket(entry["row"], entry["column"])
         for room in entry["rooms"]:
-            bucket.append(list(room))
+            # _register_room keeps the occupancy indexes and the room map in
+            # sync, so a restored sketch queries exactly like the original.
+            sketch._register_room(entry["row"], entry["column"], list(room))
     sketch._matrix_edge_count = document["matrix_edge_count"]
     sketch._update_count = document["update_count"]
     for edge in document["buffer"]:

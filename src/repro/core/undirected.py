@@ -10,11 +10,10 @@ links) get the same accuracy guarantees without duplicating every edge.
 
 from __future__ import annotations
 
-from typing import Hashable, Set, Tuple
+from typing import Hashable, Iterable, Optional, Set, Tuple
 
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
-from repro.queries.primitives import EDGE_NOT_FOUND
 
 
 def canonical_orientation(a: Hashable, b: Hashable) -> Tuple[Hashable, Hashable]:
@@ -43,16 +42,27 @@ class UndirectedGSS:
         source, destination = canonical_orientation(first, second)
         self._sketch.update(source, destination, weight)
 
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of ``(first, second, weight)`` items (batched path)."""
+        return self._sketch.update_many(
+            (*canonical_orientation(first, second), weight)
+            for first, second, weight in items
+        )
+
     def ingest(self, edges) -> "UndirectedGSS":
         """Feed an iterable of stream edges (direction ignored)."""
-        for edge in edges:
-            self.update(edge.source, edge.destination, edge.weight)
+        self.update_many((edge.source, edge.destination, edge.weight) for edge in edges)
         return self
 
     def edge_query(self, first: Hashable, second: Hashable) -> float:
         """Aggregated weight of the undirected edge, or ``EDGE_NOT_FOUND``."""
         source, destination = canonical_orientation(first, second)
         return self._sketch.edge_query(source, destination)
+
+    def edge_query_opt(self, first: Hashable, second: Hashable) -> Optional[float]:
+        """``None``-based weight of the undirected edge (deletion-safe)."""
+        source, destination = canonical_orientation(first, second)
+        return self._sketch.edge_query_opt(source, destination)
 
     def neighbor_query(self, node: Hashable) -> Set[Hashable]:
         """All neighbors of ``node`` (union of the two directed primitives)."""
@@ -72,13 +82,13 @@ class UndirectedGSS:
         """Total weight of edges incident to ``node``."""
         total = 0.0
         node_hash = self._sketch.node_hash(node)
-        for neighbor_hash in self._sketch._neighbor_hashes(node_hash, forward=True):
-            weight = self._sketch.edge_query_by_hash(node_hash, neighbor_hash)
-            if weight != EDGE_NOT_FOUND:
+        for neighbor_hash in sorted(self._sketch._neighbor_hashes(node_hash, forward=True)):
+            weight = self._sketch.edge_query_by_hash_opt(node_hash, neighbor_hash)
+            if weight is not None:
                 total += weight
-        for neighbor_hash in self._sketch._neighbor_hashes(node_hash, forward=False):
-            weight = self._sketch.edge_query_by_hash(neighbor_hash, node_hash)
-            if weight != EDGE_NOT_FOUND:
+        for neighbor_hash in sorted(self._sketch._neighbor_hashes(node_hash, forward=False)):
+            weight = self._sketch.edge_query_by_hash_opt(neighbor_hash, node_hash)
+            if weight is not None:
                 total += weight
         return total
 

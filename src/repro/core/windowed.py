@@ -25,7 +25,7 @@ for window sketches.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
@@ -133,24 +133,81 @@ class WindowedGSS:
         sketch.update(source, destination, weight)
         self._evict_expired()
 
+    def update_many(self, items: Iterable[Sequence]) -> int:
+        """Apply a batch of stream items.
+
+        Each item is a ``(source, destination, weight)`` triple or a
+        ``(source, destination, weight, timestamp)`` quadruple; a missing (or
+        ``None``) timestamp falls back to the implicit one-unit-per-item
+        clock, exactly like :meth:`update`.  Items are routed to their slices
+        first and each slice ingests its share through the batched
+        :meth:`~repro.core.gss.GSS.update_many` fast path; slice eviction is
+        deferred to the end of the batch, which yields the same final state
+        because an evicted slice can never receive an in-window item again.
+
+        Returns the number of items applied (including expired ones).
+        """
+        pending: Dict[int, List[Tuple[Hashable, Hashable, float]]] = {}
+        count = 0
+        for item in items:
+            if len(item) == 4:
+                source, destination, weight, timestamp = item
+            else:
+                source, destination, weight = item
+                timestamp = None
+            count += 1
+            if timestamp is None:
+                timestamp = float(self._update_count)
+            if (
+                self._latest_timestamp is not None
+                and timestamp < self._latest_timestamp - self.window_span
+            ):
+                self._update_count += 1
+                continue
+            self._update_count += 1
+            if self._latest_timestamp is None or timestamp > self._latest_timestamp:
+                self._latest_timestamp = timestamp
+            pending.setdefault(self._slice_index(timestamp), []).append(
+                (source, destination, weight)
+            )
+        for index, triples in pending.items():
+            sketch = self._sketches.get(index)
+            if sketch is None:
+                sketch = GSS(self.config)
+                self._sketches[index] = sketch
+            sketch.update_many(triples)
+        self._evict_expired()
+        return count
+
     def ingest(self, edges) -> "WindowedGSS":
         """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
-        for edge in edges:
-            self.update(edge.source, edge.destination, edge.weight, edge.timestamp)
+        self.update_many(
+            (edge.source, edge.destination, edge.weight, edge.timestamp)
+            for edge in edges
+        )
         return self
 
     # -- queries ---------------------------------------------------------------
 
     def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Aggregated weight of the edge inside the window, or ``-1``."""
+        """Aggregated weight of the edge inside the window, or ``-1``.
+
+        Legacy sentinel interface; see :meth:`edge_query_opt` for the
+        deletion-safe variant.
+        """
+        weight = self.edge_query_opt(source, destination)
+        return EDGE_NOT_FOUND if weight is None else weight
+
+    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Aggregated in-window weight of the edge, or ``None`` when absent."""
         total = 0.0
         found = False
         for sketch in self._active_sketches():
-            weight = sketch.edge_query(source, destination)
-            if weight != EDGE_NOT_FOUND:
+            weight = sketch.edge_query_opt(source, destination)
+            if weight is not None:
                 total += weight
                 found = True
-        return total if found else EDGE_NOT_FOUND
+        return total if found else None
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Union of the 1-hop successors reported by every live slice."""

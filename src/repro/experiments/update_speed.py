@@ -14,13 +14,22 @@ from __future__ import annotations
 from repro.exact.adjacency_list import AdjacencyListGraph
 from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
-from repro.metrics.throughput import measure_update_throughput
+from repro.metrics.throughput import (
+    measure_batch_update_throughput,
+    measure_update_throughput,
+)
 
 
 def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentResult:
-    """Reproduce Table I: relative update throughput of the four structures."""
+    """Reproduce Table I: relative update throughput of the structures.
+
+    Beyond the paper's four rows, a ``GSS(update_many)`` row measures the
+    batched ingestion API so the scalar-vs-batch speedup is part of the
+    regenerated table (``extras["batch_size"]`` controls the chunk size).
+    """
     config = config or ExperimentConfig()
     repeats = config.extras.get("speed_repeats", 1)
+    batch_size = config.extras.get("batch_size", 1024)
     fingerprint_bits = max(config.fingerprint_bits)
     result = ExperimentResult(
         experiment="tab1",
@@ -38,6 +47,13 @@ def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentRe
         reference = make_gss()
         measurements = {
             "GSS": measure_update_throughput(make_gss, edges, label="GSS", repeats=repeats),
+            "GSS(update_many)": measure_batch_update_throughput(
+                make_gss,
+                edges,
+                label="GSS(update_many)",
+                repeats=repeats,
+                batch_size=batch_size,
+            ),
             "GSS(no sampling)": measure_update_throughput(
                 lambda: make_gss(sampling=False), edges, label="GSS(no sampling)", repeats=repeats
             ),

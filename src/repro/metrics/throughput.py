@@ -60,6 +60,35 @@ def measure_update_throughput(
     return Throughput(label=label, items=len(edges) * repeats, seconds=total_seconds)
 
 
+def measure_batch_update_throughput(
+    make_store: Callable[[], object],
+    edges: Sequence,
+    label: str = "",
+    repeats: int = 1,
+    batch_size: int = 1024,
+) -> Throughput:
+    """Time how fast a store ingests ``edges`` through its ``update_many`` API.
+
+    The edge list is converted to ``(source, destination, weight)`` triples
+    outside the timed region (that conversion is stream I/O, not sketch
+    work), then fed in ``batch_size`` chunks so the comparison against
+    :func:`measure_update_throughput` isolates the batching win.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    triples = [(edge.source, edge.destination, edge.weight) for edge in edges]
+    total_seconds = 0.0
+    for _ in range(repeats):
+        store = make_store()
+        started = time.perf_counter()
+        for start in range(0, len(triples), batch_size):
+            store.update_many(triples[start:start + batch_size])
+        total_seconds += time.perf_counter() - started
+    return Throughput(label=label, items=len(triples) * repeats, seconds=total_seconds)
+
+
 def relative_speed(reference: Throughput, others: Iterable[Throughput]) -> dict:
     """Speed of each measurement relative to ``reference`` (reference = 1.0)."""
     base = reference.items_per_second

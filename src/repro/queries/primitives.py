@@ -43,14 +43,29 @@ class GraphQueryInterface(Protocol):
         """Return the 1-hop precursors of ``node`` (empty set when none)."""
 
 
-def consume_stream(store: GraphQueryInterface, edges: Iterable) -> GraphQueryInterface:
+def consume_stream(
+    store: GraphQueryInterface, edges: Iterable, batch_size: int = 1024
+) -> GraphQueryInterface:
     """Feed every item of a stream into ``store`` and return it.
 
     Accepts anything iterable over :class:`~repro.streaming.edge.StreamEdge`
-    (a ``GraphStream``, list, generator, ...).
+    (a ``GraphStream``, list, generator, ...).  Stores that expose the
+    batched ``update_many`` API (every sketch in :mod:`repro.core`) are fed
+    in ``batch_size`` chunks; others fall back to item-at-a-time ``update``.
     """
+    update_many = getattr(store, "update_many", None)
+    if update_many is None:
+        for edge in edges:
+            store.update(edge.source, edge.destination, edge.weight)
+        return store
+    batch = []
     for edge in edges:
-        store.update(edge.source, edge.destination, edge.weight)
+        batch.append((edge.source, edge.destination, edge.weight))
+        if len(batch) >= batch_size:
+            update_many(batch)
+            batch = []
+    if batch:
+        update_many(batch)
     return store
 
 

@@ -162,6 +162,32 @@ class GraphStream:
             raise ValueError("start and size must be non-negative")
         return GraphStream(self._edges[start:start + size], name=self.name)
 
+    # -- batch ingestion ---------------------------------------------------
+
+    def iter_batches(self, batch_size: int) -> Iterator[List[StreamEdge]]:
+        """Yield the stream as consecutive batches of ``batch_size`` items.
+
+        The last batch may be shorter; order within and across batches is the
+        stream order, so batched ingestion is equivalent to item-at-a-time
+        ingestion for every store in this package.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        for start in range(0, len(self._edges), batch_size):
+            yield self._edges[start:start + batch_size]
+
+    def ingest_into(self, store, batch_size: int = 1024):
+        """Feed the whole stream into ``store`` and return the store.
+
+        Uses the store's batched ``update_many`` API when it has one (every
+        sketch in :mod:`repro.core` does), falling back to item-at-a-time
+        ``update`` otherwise — so exact baselines and third-party stores work
+        unchanged.
+        """
+        from repro.queries.primitives import consume_stream
+
+        return consume_stream(store, self._edges, batch_size=batch_size)
+
 
 def stream_from_pairs(
     pairs: Sequence[Tuple[Hashable, Hashable]],

@@ -144,7 +144,13 @@ class TestStructureRunners:
     def test_update_speed_rows(self, quick_config):
         result = run_update_speed_experiment(quick_config)
         structures = {row["structure"] for row in result.rows}
-        assert structures == {"GSS", "GSS(no sampling)", "TCM", "Adjacency Lists"}
+        assert structures == {
+            "GSS",
+            "GSS(update_many)",
+            "GSS(no sampling)",
+            "TCM",
+            "Adjacency Lists",
+        }
         assert all(row["edges_per_second"] > 0 for row in result.rows)
 
     def test_triangle_runner(self, quick_config):
