@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Record the Table I perf trajectory into ``BENCH_tab1.json``.
+
+Runs the tab1 update-speed experiment on the pure-Python backend and — when
+NumPy is installed — on the NumPy backend, in one process (same machine
+state, same streams), then writes one machine-readable document containing
+both row sets plus the per-dataset ``GSS(update_many)`` speedup.  Re-running
+appends a new entry to the ``runs`` list, so the file accumulates the perf
+trajectory across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_bench.py                 # default bench scale
+    PYTHONPATH=src python scripts/record_bench.py --quick         # smoke
+    PYTHONPATH=src python scripts/record_bench.py --repeats 3     # steadier numbers
+    PYTHONPATH=src python scripts/record_bench.py --out BENCH_tab1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import results_to_document  # noqa: E402
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.experiments.update_speed import run_update_speed_experiment  # noqa: E402
+from repro.hashing.vectorized import NUMPY_AVAILABLE  # noqa: E402
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_tab1.json"),
+                        help="trajectory file to append to (default: BENCH_tab1.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny smoke configuration instead of bench scale")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the dataset scale factor")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="update_many chunk size (default 1024)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="cold runs averaged per measurement (default 1)")
+    parser.add_argument("--label", default=None,
+                        help="free-form label stored with the run (e.g. the PR number)")
+    return parser.parse_args(argv)
+
+
+def build_config(args: argparse.Namespace, backend: str) -> ExperimentConfig:
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig()
+    config.backend = backend
+    if args.scale is not None:
+        config.dataset_scale = args.scale
+    if args.batch_size is not None:
+        config.extras["batch_size"] = args.batch_size
+    if args.repeats != 1:
+        config.extras["speed_repeats"] = args.repeats
+    return config
+
+
+def update_many_rates(rows) -> dict:
+    return {
+        row["dataset"]: row["edges_per_second"]
+        for row in rows
+        if row["structure"] == "GSS(update_many)"
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    backends = ["python"] + (["numpy"] if NUMPY_AVAILABLE else [])
+    run_entry = {
+        "label": args.label,
+        "python": platform.python_version(),
+        "numpy_available": NUMPY_AVAILABLE,
+        "repeats": args.repeats,
+        "results": {},
+    }
+    rates = {}
+    for backend in backends:
+        config = build_config(args, backend)
+        print(f"== running tab1 on backend={backend} ==", flush=True)
+        result = run_update_speed_experiment(config)
+        print(result.to_text())
+        print()
+        run_entry["results"][backend] = results_to_document([result], config)
+        rates[backend] = update_many_rates(result.rows)
+    if "numpy" in rates:
+        speedups = {
+            dataset: rates["numpy"][dataset] / rates["python"][dataset]
+            for dataset in rates["python"]
+            if rates["python"].get(dataset)
+        }
+        run_entry["update_many_speedup_numpy_vs_python"] = speedups
+        for dataset, speedup in speedups.items():
+            print(f"GSS(update_many) speedup on {dataset}: {speedup:.2f}x")
+
+    out_path = Path(args.out)
+    if out_path.exists():
+        try:
+            document = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            document = {}
+    else:
+        document = {}
+    if document.get("format") != "repro-gss-bench-trajectory":
+        document = {"format": "repro-gss-bench-trajectory", "format_version": 1, "runs": []}
+    document["runs"].append(run_entry)
+    out_path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"appended run to {out_path} ({len(document['runs'])} run(s) recorded)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

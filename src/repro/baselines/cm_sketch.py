@@ -8,15 +8,25 @@ but cannot enumerate successors, precursors or reachability.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
+from repro.core.backends import resolve_backend_name
 from repro.hashing.hash_functions import hash_key
+from repro.hashing.vectorized import hash_strings_array, load_numpy
 
 
 class CountMinSketch:
-    """Standard Count-Min sketch keyed by the edge's (source, destination) pair."""
+    """Standard Count-Min sketch keyed by the edge's (source, destination) pair.
 
-    def __init__(self, width: int, depth: int = 4, seed: int = 0) -> None:
+    ``backend`` selects the counter storage: ``"python"`` nested lists (the
+    default), ``"numpy"`` a ``(depth, width)`` float64 array whose
+    :meth:`update_many` hashes and scatters whole batches per row, or
+    ``"auto"``.
+    """
+
+    def __init__(
+        self, width: int, depth: int = 4, seed: int = 0, backend: str = "python"
+    ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
         if depth < 1:
@@ -24,7 +34,12 @@ class CountMinSketch:
         self.width = width
         self.depth = depth
         self.seed = seed
-        self.counters: List[List[float]] = [[0.0] * width for _ in range(depth)]
+        self.backend = resolve_backend_name(backend)
+        if self.backend == "numpy":
+            np = load_numpy()
+            self.counters = np.zeros((depth, width), dtype=np.float64)
+        else:
+            self.counters: List[List[float]] = [[0.0] * width for _ in range(depth)]
         self._update_count = 0
 
     def _positions(self, source: Hashable, destination: Hashable) -> List[Tuple[int, int]]:
@@ -40,6 +55,42 @@ class CountMinSketch:
         for row, column in self._positions(source, destination):
             self.counters[row][column] += weight
 
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of stream items, pre-aggregated per edge key.
+
+        On the NumPy backend the per-row hashing of the distinct edge keys
+        and the counter scatter are array operations (``hash_key`` hashes a
+        tuple key through ``repr``, which vectorizes as a string batch).
+        Returns the number of items applied.
+        """
+        triples = items if isinstance(items, list) else list(items)
+        if not triples:
+            return 0
+        count = len(triples)
+        aggregated: Dict[Tuple[Hashable, Hashable], float] = {}
+        for source, destination, weight in triples:
+            key = (source, destination)
+            aggregated[key] = aggregated.get(key, 0.0) + weight
+        if self.backend != "numpy":
+            for (source, destination), weight in aggregated.items():
+                for row, column in self._positions(source, destination):
+                    self.counters[row][column] += weight
+        else:
+            np = load_numpy()
+            reprs = [repr(key) for key in aggregated]
+            weights = np.fromiter(
+                aggregated.values(), dtype=np.float64, count=len(aggregated)
+            )
+            for row in range(self.depth):
+                columns = (
+                    hash_strings_array(reprs, self.seed + row) % np.uint64(self.width)
+                ).astype(np.int64)
+                self.counters[row] += np.bincount(
+                    columns, weights=weights, minlength=self.width
+                )
+        self._update_count += count
+        return count
+
     def ingest(self, edges) -> "CountMinSketch":
         """Feed an iterable of stream edges."""
         for edge in edges:
@@ -48,7 +99,9 @@ class CountMinSketch:
 
     def edge_query(self, source: Hashable, destination: Hashable) -> float:
         """Count-Min estimate: minimum counter across the rows."""
-        return min(self.counters[row][column] for row, column in self._positions(source, destination))
+        return float(
+            min(self.counters[row][column] for row, column in self._positions(source, destination))
+        )
 
     @property
     def update_count(self) -> int:

@@ -8,7 +8,7 @@ only and supports no topology queries — the limitation that motivates GSS.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Iterable, Tuple
 
 from repro.baselines.cm_sketch import CountMinSketch
 
@@ -34,3 +34,17 @@ class CountMinCUSketch(CountMinSketch):
         for row, column in positions:
             if self.counters[row][column] < target:
                 self.counters[row][column] = target
+
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch item-by-item.
+
+        Conservative update is order-dependent across interleaved keys, so
+        unlike the base CM sketch a batch cannot be pre-aggregated without
+        changing the estimate; the batched API exists for interface parity
+        and applies the scalar rule per item on every backend.
+        """
+        count = 0
+        for source, destination, weight in items:
+            self.update(source, destination, weight)
+            count += 1
+        return count

@@ -15,13 +15,20 @@ enumerated, which captures exactly that behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
 
+from repro.core.backends import resolve_backend_name
+from repro.hashing.vectorized import load_numpy
 from repro.queries.primitives import EDGE_NOT_FOUND
 
 
 class GMatrix:
-    """Single-sketch gMatrix with a reversible affine node hash."""
+    """Single-sketch gMatrix with a reversible affine node hash.
+
+    ``backend`` selects the counter storage (``python`` list / ``numpy``
+    float64 array / ``auto``); interning is a Python dict either way because
+    the affine hash is keyed by arrival order.
+    """
 
     def __init__(
         self,
@@ -30,6 +37,7 @@ class GMatrix:
         multiplier: int = 2654435761,
         increment: int = 1013904223,
         seed: int = 0,
+        backend: str = "python",
     ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
@@ -39,7 +47,12 @@ class GMatrix:
         if self.multiplier % 2 == 0:
             self.multiplier += 1
         self.increment = increment + seed
-        self.counters: List[float] = [0.0] * (width * width)
+        self.backend = resolve_backend_name(backend)
+        if self.backend == "numpy":
+            np = load_numpy()
+            self.counters = np.zeros(width * width, dtype=np.float64)
+        else:
+            self.counters: List[float] = [0.0] * (width * width)
         self._intern: Dict[Hashable, int] = {}
         self._known_ids: List[Hashable] = []
         self._update_count = 0
@@ -79,6 +92,43 @@ class GMatrix:
         column = self._hash(self._intern_node(destination))
         self.counters[row * self.width + column] += weight
 
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of stream items, pre-aggregated per edge.
+
+        Interning happens in first-seen order (the order the scalar path
+        would intern), so the affine hashes are identical; on the NumPy
+        backend the aggregated weights land in one counter scatter.
+        """
+        triples = items if isinstance(items, list) else list(items)
+        if not triples:
+            return 0
+        count = len(triples)
+        aggregated: Dict[Tuple[int, int], float] = {}
+        for source, destination, weight in triples:
+            key = (
+                self._hash(self._intern_node(source)),
+                self._hash(self._intern_node(destination)),
+            )
+            aggregated[key] = aggregated.get(key, 0.0) + weight
+        if self.backend == "numpy":
+            np = load_numpy()
+            positions = np.fromiter(
+                (row * self.width + column for row, column in aggregated),
+                dtype=np.int64,
+                count=len(aggregated),
+            )
+            weights = np.fromiter(
+                aggregated.values(), dtype=np.float64, count=len(aggregated)
+            )
+            self.counters += np.bincount(
+                positions, weights=weights, minlength=len(self.counters)
+            )
+        else:
+            for (row, column), weight in aggregated.items():
+                self.counters[row * self.width + column] += weight
+        self._update_count += count
+        return count
+
     def ingest(self, edges) -> "GMatrix":
         """Feed an iterable of stream edges."""
         for edge in edges:
@@ -93,7 +143,7 @@ class GMatrix:
             return EDGE_NOT_FOUND
         row = self._hash(self._intern[source])
         column = self._hash(self._intern[destination])
-        value = self.counters[row * self.width + column]
+        value = float(self.counters[row * self.width + column])
         return value if value > 0 else EDGE_NOT_FOUND
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
@@ -125,7 +175,7 @@ class GMatrix:
             return 0.0
         row = self._hash(self._intern[node])
         base = row * self.width
-        return sum(self.counters[base:base + self.width])
+        return float(sum(self.counters[base:base + self.width]))
 
     # -- introspection ------------------------------------------------------------------
 

@@ -14,20 +14,27 @@ that stores the hash value and the original ID pairs").
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set
+from itertools import chain
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
 
+from repro.core.backends import resolve_backend_name
 from repro.core.reverse_index import NodeIndex
 from repro.hashing.hash_functions import NodeHasher
+from repro.hashing.vectorized import load_numpy, node_hashes_array
 from repro.queries.primitives import EDGE_NOT_FOUND
 
 
 class _TCMSketch:
     """One hashed adjacency matrix of counters."""
 
-    def __init__(self, width: int, seed: int) -> None:
+    def __init__(self, width: int, seed: int, numpy_counters: bool = False) -> None:
         self.width = width
         self.hasher = NodeHasher(value_range=width, seed=seed)
-        self.counters: List[float] = [0.0] * (width * width)
+        if numpy_counters:
+            np = load_numpy()
+            self.counters = np.zeros(width * width, dtype=np.float64)
+        else:
+            self.counters: List[float] = [0.0] * (width * width)
         self.node_index = NodeIndex()
 
     def update(self, source: Hashable, destination: Hashable, weight: float) -> None:
@@ -37,10 +44,17 @@ class _TCMSketch:
         self.node_index.record(destination, destination_hash)
         self.counters[source_hash * self.width + destination_hash] += weight
 
+    def update_hashed(self, positions, weights) -> None:
+        """Vectorized counter update for pre-hashed batch positions."""
+        np = load_numpy()
+        self.counters += np.bincount(
+            positions, weights=weights, minlength=len(self.counters)
+        )
+
     def edge_weight(self, source: Hashable, destination: Hashable) -> float:
         source_hash = self.hasher(source)
         destination_hash = self.hasher(destination)
-        return self.counters[source_hash * self.width + destination_hash]
+        return float(self.counters[source_hash * self.width + destination_hash])
 
     def successor_ids(self, node: Hashable) -> Set[Hashable]:
         node_hash = self.hasher(node)
@@ -62,12 +76,12 @@ class _TCMSketch:
     def node_out_weight(self, node: Hashable) -> float:
         node_hash = self.hasher(node)
         base = node_hash * self.width
-        return sum(self.counters[base:base + self.width])
+        return float(sum(self.counters[base:base + self.width]))
 
     def node_in_weight(self, node: Hashable) -> float:
         node_hash = self.hasher(node)
-        return sum(
-            self.counters[row * self.width + node_hash] for row in range(self.width)
+        return float(
+            sum(self.counters[row * self.width + node_hash] for row in range(self.width))
         )
 
 
@@ -82,16 +96,29 @@ class TCM:
         Number of independent sketches (the paper's experiments use 4).
     seed:
         Base seed; sketch ``i`` uses ``seed + i``.
+    backend:
+        ``"python"`` (list counters), ``"numpy"`` (array counters plus the
+        vectorized :meth:`update_many` pipeline) or ``"auto"``.  Matches the
+        GSS backend contract, including the fallback-with-warning when NumPy
+        is requested but missing, so Table I compares both structures on the
+        same substrate.
     """
 
-    def __init__(self, width: int, depth: int = 4, seed: int = 0) -> None:
+    def __init__(
+        self, width: int, depth: int = 4, seed: int = 0, backend: str = "python"
+    ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
         if depth < 1:
             raise ValueError("depth must be at least 1")
         self.width = width
         self.depth = depth
-        self._sketches = [_TCMSketch(width, seed + index) for index in range(depth)]
+        self.backend = resolve_backend_name(backend)
+        numpy_counters = self.backend == "numpy"
+        self._sketches = [
+            _TCMSketch(width, seed + index, numpy_counters=numpy_counters)
+            for index in range(depth)
+        ]
         self._update_count = 0
 
     # -- updates ------------------------------------------------------------
@@ -101,6 +128,49 @@ class TCM:
         self._update_count += 1
         for sketch in self._sketches:
             sketch.update(source, destination, weight)
+
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of ``(source, destination, weight)`` stream items.
+
+        Items hitting the same counter are pre-aggregated (exact for the
+        weight sums the experiments use), and on the NumPy backend node
+        hashing and the counter scatter run as array operations per sketch.
+        Returns the number of items applied.
+        """
+        triples = items if isinstance(items, list) else list(items)
+        if not triples:
+            return 0
+        count = len(triples)
+        if self.backend != "numpy":
+            aggregated: Dict[Tuple[Hashable, Hashable], float] = {}
+            for source, destination, weight in triples:
+                key = (source, destination)
+                aggregated[key] = aggregated.get(key, 0.0) + weight
+            for (source, destination), weight in aggregated.items():
+                for sketch in self._sketches:
+                    sketch.update(source, destination, weight)
+            self._update_count += count
+            return count
+        np = load_numpy()
+        sources, destinations, weights = zip(*triples)
+        weight_array = np.asarray(weights, dtype=np.float64)
+        distinct = list(dict.fromkeys(chain.from_iterable(zip(sources, destinations))))
+        for sketch in self._sketches:
+            hashed = node_hashes_array(distinct, self.width, sketch.hasher.seed).tolist()
+            node_index = sketch.node_index
+            for node, node_hash in zip(distinct, hashed):
+                node_index.record(node, node_hash)
+            lookup = dict(zip(distinct, hashed))
+            positions = np.fromiter(
+                map(lookup.__getitem__, chain(sources, destinations)),
+                dtype=np.int64,
+                count=2 * count,
+            )
+            sketch.update_hashed(
+                positions[:count] * self.width + positions[count:], weight_array
+            )
+        self._update_count += count
+        return count
 
     def ingest(self, edges) -> "TCM":
         """Feed an iterable of stream edges."""
@@ -156,7 +226,12 @@ class TCM:
 
     @classmethod
     def with_memory_of(
-        cls, gss_memory_bytes: int, memory_ratio: float = 8.0, depth: int = 4, seed: int = 0
+        cls,
+        gss_memory_bytes: int,
+        memory_ratio: float = 8.0,
+        depth: int = 4,
+        seed: int = 0,
+        backend: str = "python",
     ) -> "TCM":
         """Build a TCM whose total counter memory is ``memory_ratio`` times a
         given GSS memory budget — the construction used throughout Section VII
@@ -165,7 +240,7 @@ class TCM:
         total_bytes = gss_memory_bytes * memory_ratio
         per_sketch_counters = max(1.0, total_bytes / (4 * depth))
         width = max(2, int(per_sketch_counters ** 0.5))
-        return cls(width=width, depth=depth, seed=seed)
+        return cls(width=width, depth=depth, seed=seed, backend=backend)
 
 
 def tcm_successor_union(tcm: TCM, node: Hashable) -> Dict[str, Set[Hashable]]:

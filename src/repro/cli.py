@@ -3,13 +3,19 @@
 Each sub-command regenerates one table or figure of the paper and prints the
 result rows as an aligned text table.  ``--scale`` controls the synthetic
 dataset size, ``--paper-scale`` switches to the full configuration (all five
-datasets, full query sets), and ``--quick`` runs the tiny smoke configuration.
+datasets, full query sets), ``--quick`` runs the tiny smoke configuration,
+``--backend`` selects the sketch matrix backend, and ``--json PATH`` writes
+the result rows as a machine-readable document (the perf-trajectory format
+consumed by ``scripts/record_bench.py``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
@@ -106,6 +112,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=["python", "numpy", "auto"],
+        default="python",
+        help=(
+            "matrix backend for GSS and the TCM counters: 'python' (zero "
+            "dependencies, default), 'numpy' (vectorized; falls back to "
+            "python with a warning when NumPy is missing) or 'auto'"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the result rows as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
         "--paper-scale",
         action="store_true",
         help="full configuration: all five datasets, full query sets",
@@ -131,7 +153,50 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         if args.batch_size < 1:
             raise SystemExit("--batch-size must be at least 1")
         config.extras["batch_size"] = args.batch_size
+    if getattr(args, "backend", None):
+        config.backend = args.backend
     return config
+
+
+def results_to_document(results: List, config: ExperimentConfig) -> Dict:
+    """Bundle experiment results as a JSON-compatible perf document.
+
+    The shape is what ``scripts/record_bench.py`` appends to the
+    ``BENCH_*.json`` trajectory: run metadata (backend, scale, interpreter)
+    plus the raw rows of every experiment, so later sessions can diff
+    throughput numbers without re-parsing text tables.  ``backend`` is the
+    backend that actually ran (``auto`` and unavailable-NumPy fallbacks
+    resolved); the raw request is kept in ``backend_requested``.
+    """
+    import warnings
+
+    from repro.core.backends import resolve_backend_name
+
+    with warnings.catch_warnings():
+        # The fallback warning (if any) already fired when the sketches were
+        # built; resolving again for metadata should stay silent.
+        warnings.simplefilter("ignore")
+        resolved_backend = resolve_backend_name(config.backend)
+    return {
+        "format": "repro-gss-bench",
+        "format_version": 1,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "backend": resolved_backend,
+        "backend_requested": config.backend,
+        "dataset_scale": config.dataset_scale,
+        "datasets": list(config.datasets),
+        "batch_size": config.extras.get("batch_size", 1024),
+        "experiments": [
+            {
+                "experiment": result.experiment,
+                "description": result.description,
+                "columns": result.columns,
+                "rows": result.rows,
+            }
+            for result in results
+        ],
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -146,10 +211,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = sorted(_EXTENSION_RUNNERS)
     else:
         names = [args.experiment]
+    results = []
     for name in names:
         result = _RUNNERS[name](config)
+        results.append(result)
         print(result.to_text())
         print()
+    if args.json is not None:
+        document = results_to_document(results, config)
+        if args.json == "-":
+            json.dump(document, sys.stdout, indent=2)
+            print()
+        else:
+            path = Path(args.json)
+            with path.open("w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2)
+            print(f"wrote JSON results to {path}")
     return 0
 
 

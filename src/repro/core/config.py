@@ -42,6 +42,14 @@ class GSSConfig:
         needed to report original node IDs from successor/precursor queries.
     seed:
         Seed of the node hash function, allowing independent sketches.
+    backend:
+        Matrix-storage backend: ``"python"`` (nested lists, zero
+        dependencies — the default), ``"numpy"`` (columnar arrays with the
+        vectorized batch-update pipeline) or ``"auto"`` (NumPy when
+        installed, pure Python otherwise).  Requesting ``"numpy"`` without
+        NumPy installed falls back to pure Python with a warning.  The two
+        backends are observationally identical; the choice only affects
+        speed and dependencies.
     """
 
     matrix_width: int
@@ -53,6 +61,7 @@ class GSSConfig:
     sampling: bool = True
     keep_node_index: bool = True
     seed: int = 0
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.matrix_width <= 0:
@@ -65,6 +74,8 @@ class GSSConfig:
             raise ValueError("sequence_length must be at least 1")
         if self.candidate_buckets < 1:
             raise ValueError("candidate_buckets must be at least 1")
+        if self.backend not in ("python", "numpy", "auto"):
+            raise ValueError("backend must be one of 'python', 'numpy', 'auto'")
 
     @property
     def fingerprint_range(self) -> int:

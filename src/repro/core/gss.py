@@ -12,22 +12,29 @@ sampling probes only ``k`` of the resulting ``r * r`` buckets per edge.  Both
 optimizations — and the number of rooms — can be switched off to reproduce the
 paper's ablations.
 
-The matrix backend is *occupancy-indexed*: per-row and per-column occupancy
-sets record which buckets hold at least one room, and a room map keyed by
-``(row, column, fingerprints, indices)`` gives O(1) room lookups.  Successor,
-precursor and reconstruction scans therefore touch only occupied buckets —
-work proportional to the number of stored edges, not to ``r * m`` matrix
-slots — which is what makes the paper's O(1)-update / 1-hop-query claims hold
-in this pure-Python reproduction.  ``update_many`` additionally batches
-stream items so hashing, hash splitting and address-sequence computation are
-performed once per distinct node/edge instead of once per item.
+Matrix storage is pluggable (``GSSConfig.backend``, see
+:mod:`repro.core.backends`): the default pure-Python backend keeps the
+occupancy-indexed nested-list layout, and the NumPy backend stores rooms in
+columnar arrays and runs ``update_many`` / ``update_many_by_hash`` through a
+vectorized batch-hashing pipeline.  The two backends are observationally
+identical — every query answers the same — so the choice is purely about
+speed and dependencies.  In both cases scans cost O(stored edges), not
+O(r * m) matrix slots, which is what makes the paper's O(1)-update /
+1-hop-query claims hold in this reproduction.
 """
 
 from __future__ import annotations
 
-from bisect import insort
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.backends import (
+    ROOM_DEST_FP,
+    ROOM_DEST_INDEX,
+    ROOM_SOURCE_FP,
+    ROOM_SOURCE_INDEX,
+    ROOM_WEIGHT,
+    make_backend,
+)
 from repro.core.buffer import LeftoverBuffer
 from repro.core.config import GSSConfig
 from repro.core.reverse_index import NodeIndex
@@ -46,12 +53,13 @@ from repro.queries.primitives import EDGE_NOT_FOUND
 #: cached so a long-running process cannot grow without bound.
 _CANDIDATE_CACHE_LIMIT = 1 << 16
 
-# A room is a mutable 5-slot list: [f_s, f_d, i_s, i_d, weight].
-_ROOM_SOURCE_FP = 0
-_ROOM_DEST_FP = 1
-_ROOM_SOURCE_INDEX = 2
-_ROOM_DEST_INDEX = 3
-_ROOM_WEIGHT = 4
+# Backwards-compatible aliases for the room-slot layout (now owned by
+# repro.core.backends).
+_ROOM_SOURCE_FP = ROOM_SOURCE_FP
+_ROOM_DEST_FP = ROOM_DEST_FP
+_ROOM_SOURCE_INDEX = ROOM_SOURCE_INDEX
+_ROOM_DEST_INDEX = ROOM_DEST_INDEX
+_ROOM_WEIGHT = ROOM_WEIGHT
 
 
 class GSS:
@@ -73,23 +81,14 @@ class GSS:
         self._fingerprint_range = config.fingerprint_range
         self._hasher = NodeHasher(value_range=config.hash_range, seed=config.seed)
         self._lcg = LinearCongruentialSequence()
-        # One slot per bucket; a bucket is lazily created as a list of rooms.
-        self._buckets: List[Optional[List[List]]] = [None] * (self._width * self._width)
         self._buffer = LeftoverBuffer()
         self._node_index: Optional[NodeIndex] = NodeIndex() if config.keep_node_index else None
-        self._matrix_edge_count = 0
         self._update_count = 0
         self._address_cache: Dict[int, List[int]] = {}
         self._candidate_cache: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
-        # Occupancy indexes: which columns of each row (and rows of each
-        # column) hold at least one room, kept as ascending sorted lists so
-        # scans need no per-query sort.  Buckets never empty out, so the
-        # indexes only grow and stay exact without any eviction logic.
-        self._row_occupancy: Dict[int, List[int]] = {}
-        self._col_occupancy: Dict[int, List[int]] = {}
-        # Fingerprint-bucketed room map: (row, column, f_s, f_d, i_s, i_d) ->
-        # the room list itself, for O(1) aggregation and edge queries.
-        self._room_map: Dict[Tuple[int, int, int, int, int, int], List] = {}
+        # Matrix storage is delegated to the configured backend; see
+        # repro.core.backends for the layout and the equivalence argument.
+        self._matrix = make_backend(self)
 
     # -- hashing helpers -----------------------------------------------------
 
@@ -154,52 +153,31 @@ class GSS:
             self._candidate_cache[key] = pairs
         return pairs
 
-    def _bucket_at(self, row: int, column: int) -> Optional[List[List]]:
-        return self._buckets[row * self._width + column]
+    # -- backend plumbing ------------------------------------------------------
 
-    def _ensure_bucket(self, row: int, column: int) -> List[List]:
-        position = row * self._width + column
-        bucket = self._buckets[position]
-        if bucket is None:
-            bucket = []
-            self._buckets[position] = bucket
-        return bucket
+    @property
+    def backend_name(self) -> str:
+        """Name of the matrix backend actually in use (after auto/fallback)."""
+        return self._matrix.name
+
+    def _bucket_at(self, row: int, column: int) -> Optional[List[List]]:
+        return self._matrix.bucket_at(row, column)
 
     def _register_room(self, row: int, column: int, room: List) -> None:
         """Store one room and keep every matrix index in sync.
 
         All room insertions — updates, merges, deserialization — must go
-        through here so the occupancy sets and the room map stay exact.
+        through here so the backend's indexes stay exact.
         """
-        bucket = self._ensure_bucket(row, column)
-        bucket.append(room)
-        self._room_map[
-            (
-                row,
-                column,
-                room[_ROOM_SOURCE_FP],
-                room[_ROOM_DEST_FP],
-                room[_ROOM_SOURCE_INDEX],
-                room[_ROOM_DEST_INDEX],
-            )
-        ] = room
-        if len(bucket) == 1:
-            # First room in this bucket: the bucket just became occupied.
-            insort(self._row_occupancy.setdefault(row, []), column)
-            insort(self._col_occupancy.setdefault(column, []), row)
-        self._matrix_edge_count += 1
+        self._matrix.register_room(row, column, room)
 
-    def occupied_buckets(self) -> Iterator[Tuple[int, int, List[List]]]:
+    def occupied_buckets(self):
         """Yield ``(row, column, bucket)`` for every non-empty bucket.
 
         Iteration is row-major (ascending row, then column), matching a full
         matrix scan, but only touches occupied positions.
         """
-        for row in sorted(self._row_occupancy):
-            for column in self._row_occupancy[row]:
-                bucket = self._bucket_at(row, column)
-                if bucket:
-                    yield row, column, bucket
+        return self._matrix.occupied_buckets()
 
     # -- updates ---------------------------------------------------------------
 
@@ -215,7 +193,7 @@ class GSS:
         if self._node_index is not None:
             self._node_index.record(source, source_hash)
             self._node_index.record(destination, destination_hash)
-        self._insert_sketch_edge(source_hash, destination_hash, weight)
+        self._matrix.insert_edge(source_hash, destination_hash, weight)
 
     def update_by_hash(
         self, source_hash: int, destination_hash: int, weight: float = 1.0
@@ -227,7 +205,7 @@ class GSS:
         longer be available.  The reverse node index is left untouched.
         """
         self._update_count += 1
-        self._insert_sketch_edge(source_hash, destination_hash, weight)
+        self._matrix.insert_edge(source_hash, destination_hash, weight)
 
     def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
         """Apply a batch of ``(source, destination, weight)`` stream items.
@@ -235,35 +213,16 @@ class GSS:
         Equivalent to calling :meth:`update` once per item but measurably
         faster: node hashes (and reverse-index registrations) are computed
         once per distinct node, items targeting the same sketch edge are
-        pre-aggregated into a single insertion, and the address/candidate
-        caches are shared across the whole batch.  Pre-aggregation is exact
+        pre-aggregated into a single insertion, and — on the NumPy backend —
+        hashing, hash splitting, address sequences and candidate pairs for
+        the whole batch are array operations.  Pre-aggregation is exact
         because a room, once placed, never moves — the first occurrence of an
         edge determines its placement and later occurrences only add weight.
 
         Returns the number of stream items applied.
         """
-        hasher = self._hasher
-        node_index = self._node_index
-        hashes: Dict[Hashable, int] = {}
-        aggregated: Dict[Tuple[int, int], float] = {}
-        count = 0
-        for source, destination, weight in items:
-            count += 1
-            source_hash = hashes.get(source)
-            if source_hash is None:
-                source_hash = hashes[source] = hasher(source)
-                if node_index is not None:
-                    node_index.record(source, source_hash)
-            destination_hash = hashes.get(destination)
-            if destination_hash is None:
-                destination_hash = hashes[destination] = hasher(destination)
-                if node_index is not None:
-                    node_index.record(destination, destination_hash)
-            key = (source_hash, destination_hash)
-            aggregated[key] = aggregated.get(key, 0.0) + weight
+        count = self._matrix.update_many(items)
         self._update_count += count
-        for (source_hash, destination_hash), weight in aggregated.items():
-            self._insert_sketch_edge(source_hash, destination_hash, weight)
         return count
 
     def update_many_by_hash(self, edges: Iterable[Tuple[int, int, float]]) -> int:
@@ -273,54 +232,15 @@ class GSS:
         :meth:`reconstruct_sketch_edges`), pre-aggregates duplicates and
         leaves the reverse node index untouched.  Returns the item count.
         """
-        aggregated: Dict[Tuple[int, int], float] = {}
-        count = 0
-        for source_hash, destination_hash, weight in edges:
-            count += 1
-            key = (source_hash, destination_hash)
-            aggregated[key] = aggregated.get(key, 0.0) + weight
+        count = self._matrix.update_many_by_hash(edges)
         self._update_count += count
-        for (source_hash, destination_hash), weight in aggregated.items():
-            self._insert_sketch_edge(source_hash, destination_hash, weight)
         return count
 
     def _insert_sketch_edge(
         self, source_hash: int, destination_hash: int, weight: float
     ) -> None:
         """Insert (or aggregate) one edge of the graph sketch ``Gh``."""
-        _, source_fp = self._split(source_hash)
-        _, destination_fp = self._split(destination_hash)
-        source_addresses = self._addresses(source_hash)
-        destination_addresses = self._addresses(destination_hash)
-        rooms_per_bucket = self.config.rooms
-        room_map = self._room_map
-
-        for source_index, destination_index in self._candidate_pairs(source_fp, destination_fp):
-            row = source_addresses[source_index]
-            column = destination_addresses[destination_index]
-            stored_source_index = source_index + 1
-            stored_destination_index = destination_index + 1
-            room = room_map.get(
-                (row, column, source_fp, destination_fp, stored_source_index, stored_destination_index)
-            )
-            if room is not None:
-                room[_ROOM_WEIGHT] += weight
-                return
-            bucket = self._bucket_at(row, column)
-            if bucket is None or len(bucket) < rooms_per_bucket:
-                self._register_room(
-                    row,
-                    column,
-                    [
-                        source_fp,
-                        destination_fp,
-                        stored_source_index,
-                        stored_destination_index,
-                        weight,
-                    ],
-                )
-                return
-        self._buffer.add(source_hash, destination_hash, weight)
+        self._matrix.insert_edge(source_hash, destination_hash, weight)
 
     # -- query primitives -------------------------------------------------------
 
@@ -358,25 +278,9 @@ class GSS:
         self, source_hash: int, destination_hash: int
     ) -> Optional[float]:
         """Edge query by sketch hashes; ``None`` when the edge is absent."""
-        _, source_fp = self._split(source_hash)
-        _, destination_fp = self._split(destination_hash)
-        source_addresses = self._addresses(source_hash)
-        destination_addresses = self._addresses(destination_hash)
-        room_map = self._room_map
-
-        for source_index, destination_index in self._candidate_pairs(source_fp, destination_fp):
-            room = room_map.get(
-                (
-                    source_addresses[source_index],
-                    destination_addresses[destination_index],
-                    source_fp,
-                    destination_fp,
-                    source_index + 1,
-                    destination_index + 1,
-                )
-            )
-            if room is not None:
-                return room[_ROOM_WEIGHT]
+        weight = self._matrix.matrix_edge_weight(source_hash, destination_hash)
+        if weight is not None:
+            return weight
         return self._buffer.get(source_hash, destination_hash)
 
     def successor_hashes(self, node: Hashable) -> Set[int]:
@@ -400,48 +304,11 @@ class GSS:
         (Theorem 1 reversibility).  ``forward=False`` is the symmetric column
         scan for precursors.
 
-        Uses the occupancy indexes: only buckets that actually hold rooms are
-        visited, so the cost is proportional to the occupancy of the node's
-        ``r`` rows/columns instead of ``r * m`` matrix slots.
+        The matrix scan is the backend's business (occupancy-indexed on the
+        Python backend, a vectorized mask on the NumPy backend); the
+        left-over buffer is consulted here.
         """
-        _, fingerprint = self._split(node_hash)
-        addresses = self._addresses(node_hash)
-        found: Set[int] = set()
-        width = self._width
-        occupancy = self._row_occupancy if forward else self._col_occupancy
-
-        own_fp_slot = _ROOM_SOURCE_FP if forward else _ROOM_DEST_FP
-        own_index_slot = _ROOM_SOURCE_INDEX if forward else _ROOM_DEST_INDEX
-        other_fp_slot = _ROOM_DEST_FP if forward else _ROOM_SOURCE_FP
-        other_index_slot = _ROOM_DEST_INDEX if forward else _ROOM_SOURCE_INDEX
-
-        for position, address in enumerate(addresses):
-            expected_index = position + 1
-            occupied = occupancy.get(address)
-            if not occupied:
-                continue
-            for offset in occupied:
-                if forward:
-                    bucket = self._bucket_at(address, offset)
-                else:
-                    bucket = self._bucket_at(offset, address)
-                if bucket is None:
-                    continue
-                for room in bucket:
-                    if room[own_fp_slot] != fingerprint:
-                        continue
-                    if room[own_index_slot] != expected_index:
-                        continue
-                    other_fp = room[other_fp_slot]
-                    other_index = room[other_index_slot]
-                    if self.config.square_hashing:
-                        other_base = recover_address(
-                            offset, other_fp, other_index, width, self._lcg
-                        )
-                    else:
-                        other_base = offset
-                    found.add(other_base * self._fingerprint_range + other_fp)
-
+        found = self._matrix.matrix_neighbor_hashes(node_hash, forward)
         if forward:
             found.update(self._buffer.successors_of(node_hash))
         else:
@@ -450,7 +317,7 @@ class GSS:
 
     def _neighbor_hashes_unindexed(self, node_hash: int, forward: bool) -> Set[int]:
         """Reference implementation of :meth:`_neighbor_hashes` without the
-        occupancy indexes: the original full ``r * m`` slot scan.
+        backend's indexes: the original full ``r * m`` slot scan.
 
         Kept for the property tests that assert the indexed scan returns
         identical results; not used on any production path.
@@ -547,40 +414,18 @@ class GSS:
         and buffer as ``(H(s), H(d), weight)`` triples.
 
         This demonstrates the paper's claim that the whole graph can be
-        re-constructed from the data structure.  The scan walks the occupancy
-        indexes in row-major order, so it costs O(stored edges) and yields the
-        same sequence a full matrix scan would.
+        re-constructed from the data structure.  The scan yields edges in
+        row-major bucket order (the sequence a full matrix scan would
+        produce) at O(stored edges) cost on both backends.
         """
-        edges: List[Tuple[int, int, float]] = []
-        width = self._width
-        for row, column, bucket in self.occupied_buckets():
-            for room in bucket:
-                source_fp = room[_ROOM_SOURCE_FP]
-                destination_fp = room[_ROOM_DEST_FP]
-                if self.config.square_hashing:
-                    source_base = recover_address(
-                        row, source_fp, room[_ROOM_SOURCE_INDEX], width, self._lcg
-                    )
-                    destination_base = recover_address(
-                        column, destination_fp, room[_ROOM_DEST_INDEX], width, self._lcg
-                    )
-                else:
-                    source_base = row
-                    destination_base = column
-                edges.append(
-                    (
-                        source_base * self._fingerprint_range + source_fp,
-                        destination_base * self._fingerprint_range + destination_fp,
-                        room[_ROOM_WEIGHT],
-                    )
-                )
+        edges = self._matrix.reconstruct()
         edges.extend(self._buffer.edges())
         return edges
 
     def reconstruct_sketch_edges_unindexed(self) -> List[Tuple[int, int, float]]:
         """Reference full ``m * m`` matrix scan of :meth:`reconstruct_sketch_edges`.
 
-        Kept so the property tests can assert the occupancy-indexed scan is
+        Kept so the property tests can assert the backend scans are
         byte-identical; not used on any production path.
         """
         edges: List[Tuple[int, int, float]] = []
@@ -628,7 +473,7 @@ class GSS:
     @property
     def matrix_edge_count(self) -> int:
         """Distinct sketch edges stored in matrix rooms."""
-        return self._matrix_edge_count
+        return self._matrix.matrix_edge_count
 
     @property
     def buffer_edge_count(self) -> int:
@@ -643,15 +488,30 @@ class GSS:
     @property
     def buffer_percentage(self) -> float:
         """Fraction of stored sketch edges that had to go to the buffer."""
-        total = self._matrix_edge_count + len(self._buffer)
+        total = self._matrix.matrix_edge_count + len(self._buffer)
         if total == 0:
             return 0.0
         return len(self._buffer) / total
 
+    # Python-backend structural views, kept for the occupancy-index property
+    # tests (they raise on other backends, whose storage has no buckets).
+
+    @property
+    def _row_occupancy(self) -> Dict[int, List[int]]:
+        return self._matrix._row_occupancy
+
+    @property
+    def _col_occupancy(self) -> Dict[int, List[int]]:
+        return self._matrix._col_occupancy
+
+    @property
+    def _room_map(self) -> Dict[Tuple[int, int, int, int, int, int], List]:
+        return self._matrix._room_map
+
     def occupancy(self) -> float:
         """Fraction of matrix rooms currently occupied."""
         capacity = self._width * self._width * self.config.rooms
-        return self._matrix_edge_count / capacity if capacity else 0.0
+        return self._matrix.matrix_edge_count / capacity if capacity else 0.0
 
     def memory_bytes(self, include_node_index: bool = False) -> int:
         """Memory footprint under the paper's C layout (see GSSConfig)."""

@@ -13,11 +13,14 @@ the original, which the tests verify property-style.
 from __future__ import annotations
 
 import json
+import warnings
+from dataclasses import replace
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
+from repro.hashing.hash_functions import HASH_VERSION
 
 FORMAT_VERSION = 1
 
@@ -31,6 +34,7 @@ def sketch_to_dict(sketch: GSS, include_node_index: bool = True) -> Dict:
     ]
     document = {
         "format_version": FORMAT_VERSION,
+        "hash_version": HASH_VERSION,
         "config": {
             "matrix_width": config.matrix_width,
             "fingerprint_bits": config.fingerprint_bits,
@@ -41,6 +45,7 @@ def sketch_to_dict(sketch: GSS, include_node_index: bool = True) -> Dict:
             "sampling": config.sampling,
             "keep_node_index": config.keep_node_index,
             "seed": config.seed,
+            "backend": config.backend,
         },
         "matrix_edge_count": sketch.matrix_edge_count,
         "update_count": sketch.update_count,
@@ -59,20 +64,55 @@ def sketch_to_dict(sketch: GSS, include_node_index: bool = True) -> Dict:
     return document
 
 
-def sketch_from_dict(document: Dict) -> GSS:
-    """Rebuild a GSS from a dictionary produced by :func:`sketch_to_dict`."""
+def sketch_from_dict(document: Dict, backend: Optional[str] = None) -> GSS:
+    """Rebuild a GSS from a dictionary produced by :func:`sketch_to_dict`.
+
+    ``backend`` overrides the backend recorded in the snapshot, so a sketch
+    written by one backend can be restored into the other (the room layout in
+    the document is backend-agnostic, and both backends place restored rooms
+    identically).  Snapshots written before the backend field existed restore
+    onto the pure-Python default.
+
+    Snapshots also record the hash-mapping version (see
+    :data:`repro.hashing.hash_functions.HASH_VERSION`).  A snapshot written
+    under a *newer* mapping cannot be interpreted and is rejected; one
+    written under an *older* mapping (or before the field existed) loads
+    with a warning, because only sketches whose node IDs were non-ASCII
+    ``bytes`` are affected by the v1 -> v2 change — rebuild such sketches
+    from the stream instead of restoring them.
+    """
     if document.get("format_version") != FORMAT_VERSION:
         raise ValueError(
             f"unsupported sketch format version {document.get('format_version')!r}"
         )
+    stored_hash_version = document.get("hash_version", 1)
+    if stored_hash_version > HASH_VERSION:
+        raise ValueError(
+            f"snapshot was written under hash version {stored_hash_version}, "
+            f"newer than this library's {HASH_VERSION}; upgrade the library "
+            "to restore it"
+        )
+    if stored_hash_version < HASH_VERSION:
+        warnings.warn(
+            f"restoring a snapshot written under hash version "
+            f"{stored_hash_version} (current {HASH_VERSION}): stored hashes "
+            "for non-ASCII bytes node IDs no longer match hash_key — queries "
+            "on such nodes will be wrong; rebuild the sketch from the stream "
+            "if it used bytes node IDs",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     config = GSSConfig(**document["config"])
+    if backend is not None:
+        config = replace(config, backend=backend)
     sketch = GSS(config)
     for entry in document["buckets"]:
         for room in entry["rooms"]:
-            # _register_room keeps the occupancy indexes and the room map in
-            # sync, so a restored sketch queries exactly like the original.
+            # _register_room keeps the backend's indexes in sync, so a
+            # restored sketch queries exactly like the original.  It also
+            # counts the rooms, making the stored matrix_edge_count purely
+            # informational.
             sketch._register_room(entry["row"], entry["column"], list(room))
-    sketch._matrix_edge_count = document["matrix_edge_count"]
     sketch._update_count = document["update_count"]
     for edge in document["buffer"]:
         sketch.buffer.add(edge["source"], edge["destination"], edge["weight"])
@@ -89,8 +129,12 @@ def save_sketch(sketch: GSS, path: Union[str, Path], include_node_index: bool = 
         json.dump(sketch_to_dict(sketch, include_node_index=include_node_index), handle)
 
 
-def load_sketch(path: Union[str, Path]) -> GSS:
-    """Restore a GSS snapshot written by :func:`save_sketch`."""
+def load_sketch(path: Union[str, Path], backend: Optional[str] = None) -> GSS:
+    """Restore a GSS snapshot written by :func:`save_sketch`.
+
+    ``backend`` optionally re-targets the restored sketch onto a different
+    matrix backend (see :func:`sketch_from_dict`).
+    """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        return sketch_from_dict(json.load(handle))
+        return sketch_from_dict(json.load(handle), backend=backend)

@@ -53,6 +53,7 @@ class ExperimentConfig:
     query_sample: int = 400
     reachability_pairs: int = 50
     seed: int = 20190419
+    backend: str = "python"
     extras: dict = field(default_factory=dict)
 
     @classmethod
@@ -104,7 +105,11 @@ class ExperimentConfig:
         square_hashing: bool = True,
         sampling: bool = True,
     ) -> GSS:
-        """Build a GSS with this experiment's square-hashing parameters."""
+        """Build a GSS with this experiment's square-hashing parameters.
+
+        The matrix backend follows ``self.backend`` (CLI ``--backend``), so
+        every experiment runner compares structures on the same backend.
+        """
         config = GSSConfig(
             matrix_width=width,
             fingerprint_bits=fingerprint_bits,
@@ -114,16 +119,22 @@ class ExperimentConfig:
             square_hashing=square_hashing,
             sampling=sampling,
             seed=self.seed,
+            backend=self.backend,
         )
         return GSS(config)
 
     def build_tcm(self, reference: GSS, memory_ratio: float) -> TCM:
-        """Build a TCM granted ``memory_ratio`` times the reference GSS memory."""
+        """Build a TCM granted ``memory_ratio`` times the reference GSS memory.
+
+        The counter backend matches ``self.backend`` so Table I comparisons
+        stay apples-to-apples.
+        """
         return TCM.with_memory_of(
             reference.config.matrix_memory_bytes(),
             memory_ratio=memory_ratio,
             depth=self.tcm_depth,
             seed=self.seed + 1,
+            backend=self.backend,
         )
 
     def sample_items(self, items: Sequence, limit: int = None) -> List:

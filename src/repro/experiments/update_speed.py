@@ -33,7 +33,7 @@ def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentRe
     fingerprint_bits = max(config.fingerprint_bits)
     result = ExperimentResult(
         experiment="tab1",
-        description="update speed (edges/s and relative to TCM)",
+        description=f"update speed (edges/s and relative to TCM; backend={config.backend})",
         columns=["dataset", "structure", "edges_per_second", "mips", "relative_to_tcm"],
     )
     for name, stream in load_streams(config):
@@ -43,6 +43,9 @@ def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentRe
 
         def make_gss(sampling: bool = True):
             return config.build_gss(width, fingerprint_bits, sampling=sampling)
+
+        def make_tcm():
+            return config.build_tcm(reference, config.tcm_edge_memory_ratio)
 
         reference = make_gss()
         measurements = {
@@ -58,10 +61,17 @@ def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentRe
                 lambda: make_gss(sampling=False), edges, label="GSS(no sampling)", repeats=repeats
             ),
             "TCM": measure_update_throughput(
-                lambda: config.build_tcm(reference, config.tcm_edge_memory_ratio),
+                make_tcm,
                 edges,
                 label="TCM",
                 repeats=repeats,
+            ),
+            "TCM(update_many)": measure_batch_update_throughput(
+                make_tcm,
+                edges,
+                label="TCM(update_many)",
+                repeats=repeats,
+                batch_size=batch_size,
             ),
             "Adjacency Lists": measure_update_throughput(
                 AdjacencyListGraph, edges, label="Adjacency Lists", repeats=repeats

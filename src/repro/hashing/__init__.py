@@ -9,12 +9,19 @@ The paper relies on three hashing building blocks:
   alternative row/column addresses per node and the ``k`` candidate buckets
   sampled per edge (Section V, Equations 1-5).
 
-Everything here is deterministic given a seed so experiments are repeatable.
+Everything here is deterministic given a seed so experiments are repeatable
+(:data:`~repro.hashing.hash_functions.HASH_VERSION` tracks the mapping; see
+its changelog before comparing persisted hashes across versions).  When NumPy
+is installed, :mod:`repro.hashing.vectorized` provides bit-identical batch
+versions of every primitive for the vectorized matrix backend.
 """
 
 from repro.hashing.hash_functions import (
+    HASH_VERSION,
     NodeHasher,
     fingerprint_of,
+    hash_bytes,
+    hash_key,
     hash_string,
     split_hash,
 )
@@ -24,10 +31,15 @@ from repro.hashing.linear_congruence import (
     candidate_sequence,
     default_lcg_params,
 )
+from repro.hashing.vectorized import NUMPY_AVAILABLE
 
 __all__ = [
+    "HASH_VERSION",
+    "NUMPY_AVAILABLE",
     "NodeHasher",
     "fingerprint_of",
+    "hash_bytes",
+    "hash_key",
     "hash_string",
     "split_hash",
     "LinearCongruentialSequence",

@@ -21,6 +21,16 @@ _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
+#: Version of the deterministic hash mapping.  Bump whenever the value that
+#: ``hash_key`` assigns to any input changes, because persisted sketches store
+#: node hashes and are only meaningful under the hash version that wrote them.
+#:
+#: * v1 hashed ``bytes`` keys through a latin-1 -> utf-8 round trip, which
+#:   double-encoded bytes >= 0x80 (and paid an extra copy).
+#: * v2 hashes raw bytes directly.  Values are unchanged for ``str``, ``int``
+#:   and ASCII-only ``bytes`` keys; non-ASCII ``bytes`` keys hash differently.
+HASH_VERSION = 2
+
 
 def _splitmix64(value: int) -> int:
     """Finalize a 64-bit value with the splitmix64 avalanche function."""
@@ -30,18 +40,23 @@ def _splitmix64(value: int) -> int:
     return value ^ (value >> 31)
 
 
-def hash_string(key: str, seed: int = 0) -> int:
-    """Return a stable 64-bit hash of ``key``.
+def hash_bytes(data: bytes, seed: int = 0) -> int:
+    """Return a stable 64-bit hash of raw ``data``.
 
-    FNV-1a over the UTF-8 bytes followed by a splitmix64 finalizer; the seed
+    FNV-1a over the bytes followed by a splitmix64 finalizer; the seed
     perturbs the initial state so that distinct seeds behave like independent
     hash functions.
     """
     state = (_FNV_OFFSET ^ _splitmix64(seed)) & _MASK64
-    for byte in key.encode("utf-8"):
+    for byte in data:
         state ^= byte
         state = (state * _FNV_PRIME) & _MASK64
     return _splitmix64(state)
+
+
+def hash_string(key: str, seed: int = 0) -> int:
+    """Return a stable 64-bit hash of ``key`` (FNV-1a over its UTF-8 bytes)."""
+    return hash_bytes(key.encode("utf-8"), seed)
 
 
 def hash_key(key: Hashable, seed: int = 0) -> int:
@@ -49,7 +64,7 @@ def hash_key(key: Hashable, seed: int = 0) -> int:
     if isinstance(key, str):
         return hash_string(key, seed)
     if isinstance(key, bytes):
-        return hash_string(key.decode("latin-1"), seed)
+        return hash_bytes(key, seed)
     if isinstance(key, int):
         return _splitmix64((key & _MASK64) ^ _splitmix64(seed ^ 0xA5A5A5A5))
     return hash_string(repr(key), seed)

@@ -1,0 +1,116 @@
+"""Backend threading through the TCM / gMatrix / CM / CU baselines.
+
+Table I compares GSS against the baselines; for the comparison to stay
+apples-to-apples each baseline accepts the same ``backend`` selector and its
+batched ``update_many`` must agree with the scalar path (for the
+exactly-representable weights the experiments use) on either backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cm_sketch import CountMinSketch
+from repro.baselines.cu_sketch import CountMinCUSketch
+from repro.baselines.gmatrix import GMatrix
+from repro.baselines.tcm import TCM
+from repro.core.backends import NUMPY_AVAILABLE
+
+BACKENDS = ["python"] + (["numpy"] if NUMPY_AVAILABLE else [])
+
+ITEMS = [
+    (f"n{i % 9}", f"n{(i * 4 + 1) % 9}", float(1 + i % 3)) for i in range(60)
+] + [("n1", "n2", -1.0), ("n0", "n0", 2.0)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestTCMBackends:
+    def test_update_many_matches_scalar(self, backend):
+        scalar = TCM(width=12, depth=3, seed=5, backend=backend)
+        batched = TCM(width=12, depth=3, seed=5, backend=backend)
+        for source, destination, weight in ITEMS:
+            scalar.update(source, destination, weight)
+        batched.update_many(ITEMS[:25])
+        batched.update_many(ITEMS[25:])
+        assert batched.update_count == scalar.update_count
+        for source, destination, _ in ITEMS:
+            assert batched.edge_query(source, destination) == scalar.edge_query(source, destination)
+            assert batched.successor_query(source) == scalar.successor_query(source)
+            assert batched.node_out_weight(source) == scalar.node_out_weight(source)
+
+    def test_with_memory_of_passes_backend(self, backend):
+        tcm = TCM.with_memory_of(4096, backend=backend)
+        assert tcm.backend == backend
+        tcm.update("a", "b", 1.0)
+        assert tcm.edge_query("a", "b") == 1.0
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="NumPy not installed")
+class TestNumpyBaselinesMatchPython:
+    def test_tcm_backends_agree(self):
+        python_tcm = TCM(width=12, depth=3, seed=5, backend="python")
+        numpy_tcm = TCM(width=12, depth=3, seed=5, backend="numpy")
+        python_tcm.update_many(ITEMS)
+        numpy_tcm.update_many(ITEMS)
+        for source, destination, _ in ITEMS:
+            assert python_tcm.edge_query(source, destination) == (
+                numpy_tcm.edge_query(source, destination)
+            )
+            assert python_tcm.node_in_weight(destination) == (
+                numpy_tcm.node_in_weight(destination)
+            )
+
+    def test_cm_backends_agree(self):
+        python_cm = CountMinSketch(width=64, depth=3, seed=2, backend="python")
+        numpy_cm = CountMinSketch(width=64, depth=3, seed=2, backend="numpy")
+        python_cm.update_many(ITEMS)
+        numpy_cm.update_many(ITEMS)
+        for source, destination, _ in ITEMS:
+            estimate = numpy_cm.edge_query(source, destination)
+            assert isinstance(estimate, float)
+            assert python_cm.edge_query(source, destination) == estimate
+
+    def test_gmatrix_backends_agree(self):
+        python_gm = GMatrix(width=16, seed=3, backend="python")
+        numpy_gm = GMatrix(width=16, seed=3, backend="numpy")
+        python_gm.update_many(ITEMS)
+        numpy_gm.update_many(ITEMS)
+        for source, destination, _ in ITEMS:
+            assert python_gm.edge_query(source, destination) == (
+                numpy_gm.edge_query(source, destination)
+            )
+            assert python_gm.successor_query(source) == numpy_gm.successor_query(source)
+            assert python_gm.node_out_weight(source) == numpy_gm.node_out_weight(source)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestScalarBatchedAgreement:
+    def test_cm_update_many_matches_scalar(self, backend):
+        scalar = CountMinSketch(width=64, depth=3, seed=2, backend=backend)
+        batched = CountMinSketch(width=64, depth=3, seed=2, backend=backend)
+        for source, destination, weight in ITEMS:
+            scalar.update(source, destination, weight)
+        batched.update_many(ITEMS)
+        for source, destination, _ in ITEMS:
+            assert batched.edge_query(source, destination) == scalar.edge_query(source, destination)
+
+    def test_cu_update_many_is_item_by_item(self, backend):
+        # Conservative update is order-dependent, so update_many must NOT
+        # pre-aggregate: it has to equal the scalar item-by-item sequence.
+        scalar = CountMinCUSketch(width=32, depth=3, seed=4, backend=backend)
+        batched = CountMinCUSketch(width=32, depth=3, seed=4, backend=backend)
+        for source, destination, weight in ITEMS:
+            scalar.update(source, destination, weight)
+        assert batched.update_many(ITEMS) == len(ITEMS)
+        for source, destination, _ in ITEMS:
+            assert batched.edge_query(source, destination) == scalar.edge_query(source, destination)
+
+    def test_gmatrix_update_many_matches_scalar(self, backend):
+        scalar = GMatrix(width=16, seed=3, backend=backend)
+        batched = GMatrix(width=16, seed=3, backend=backend)
+        for source, destination, weight in ITEMS:
+            scalar.update(source, destination, weight)
+        batched.update_many(ITEMS)
+        assert batched.update_count == scalar.update_count
+        for source, destination, _ in ITEMS:
+            assert batched.edge_query(source, destination) == scalar.edge_query(source, destination)

@@ -48,3 +48,68 @@ class TestMain:
         output = capsys.readouterr().out
         assert "Room=2" in output
         assert "NoSquareHash" in output
+
+
+class TestBackendFlag:
+    def test_default_backend_is_python(self):
+        args = build_parser().parse_args(["tab1", "--quick"])
+        assert config_from_args(args).backend == "python"
+
+    def test_backend_flag_threads_into_config(self):
+        args = build_parser().parse_args(["tab1", "--quick", "--backend", "auto"])
+        assert config_from_args(args).backend == "auto"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tab1", "--backend", "fortran"])
+
+    def test_tab1_runs_on_each_available_backend(self, capsys):
+        from repro.core.backends import NUMPY_AVAILABLE
+
+        backends = ["python"] + (["numpy"] if NUMPY_AVAILABLE else [])
+        for backend in backends:
+            assert main(["tab1", "--quick", "--backend", backend]) == 0
+            output = capsys.readouterr().out
+            assert f"backend={backend}" in output
+            assert "GSS(update_many)" in output
+            assert "TCM(update_many)" in output
+
+
+class TestJsonOutput:
+    def test_json_written_to_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "tab1.json"
+        assert main(["tab1", "--quick", "--json", str(path)]) == 0
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-gss-bench"
+        assert document["backend"] == "python"
+        assert document["experiments"][0]["experiment"] == "tab1"
+        rows = document["experiments"][0]["rows"]
+        structures = {row["structure"] for row in rows}
+        assert "GSS(update_many)" in structures
+        assert all(row["edges_per_second"] > 0 for row in rows)
+
+    def test_json_to_stdout(self, capsys):
+        import json
+
+        assert main(["fig3", "--quick", "--json", "-"]) == 0
+        output = capsys.readouterr().out
+        start = output.index("{")
+        document = json.loads(output[start:])
+        assert document["format"] == "repro-gss-bench"
+
+
+class TestJsonBackendMetadata:
+    def test_json_records_resolved_backend_for_auto(self, tmp_path, capsys):
+        import json
+
+        from repro.core.backends import NUMPY_AVAILABLE
+
+        path = tmp_path / "auto.json"
+        assert main(["fig3", "--quick", "--backend", "auto", "--json", str(path)]) == 0
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        assert document["backend_requested"] == "auto"
+        assert document["backend"] == ("numpy" if NUMPY_AVAILABLE else "python")

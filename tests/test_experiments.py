@@ -149,6 +149,7 @@ class TestStructureRunners:
             "GSS(update_many)",
             "GSS(no sampling)",
             "TCM",
+            "TCM(update_many)",
             "Adjacency Lists",
         }
         assert all(row["edges_per_second"] > 0 for row in result.rows)

@@ -1,0 +1,297 @@
+"""Differential property tests: NumPy matrix backend vs pure-Python backend.
+
+The contract of the backend layer is *observational identity*: for any stream
+— including deletions, hash collisions (tiny fingerprints), buffer overflow
+(tiny matrices) and any mix of scalar and batched updates — a NumPy-backed
+sketch answers every query exactly like a Python-backed one, reconstructs the
+identical edge list in the identical order, and round-trips through
+serialization into either backend.  These tests extend the
+``tests/test_indexed_backend.py`` pattern to the cross-backend setting.
+
+Everything here is skipped gracefully when NumPy is not installed (the CI
+matrix runs the suite both ways); the fallback behaviour itself is tested at
+the bottom without requiring NumPy.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.backends import NUMPY_AVAILABLE, resolve_backend_name
+from repro.core.config import GSSConfig
+from repro.core.ensemble import GSSEnsemble
+from repro.core.gss import GSS
+from repro.core.merge import merge_into, merge_sketches
+from repro.core.partitioned import PartitionedGSS
+from repro.core.serialization import sketch_from_dict, sketch_to_dict
+from repro.core.undirected import UndirectedGSS
+from repro.core.windowed import WindowedGSS
+
+requires_numpy = pytest.mark.skipif(not NUMPY_AVAILABLE, reason="NumPy not installed")
+
+# Streams over a small node universe with insertions AND deletions (negative
+# weights), sized so small matrices overflow into the left-over buffer.
+edge_items = st.tuples(
+    st.integers(min_value=0, max_value=19),
+    st.integers(min_value=0, max_value=19),
+    st.sampled_from([1.0, 2.0, 5.0, -1.0, -2.0]),
+)
+streams = st.lists(edge_items, min_size=1, max_size=80)
+
+configs = st.builds(
+    GSSConfig,
+    matrix_width=st.integers(min_value=2, max_value=12),
+    fingerprint_bits=st.sampled_from([4, 8, 12]),
+    rooms=st.integers(min_value=1, max_value=3),
+    sequence_length=st.integers(min_value=1, max_value=6),
+    candidate_buckets=st.integers(min_value=1, max_value=6),
+    square_hashing=st.booleans(),
+    sampling=st.booleans(),
+)
+
+
+def named(items):
+    return [(f"n{source}", f"n{destination}", weight) for source, destination, weight in items]
+
+
+def build_python(config: GSSConfig, items) -> GSS:
+    sketch = GSS(replace(config, backend="python"))
+    for source, destination, weight in named(items):
+        sketch.update(source, destination, weight)
+    return sketch
+
+
+def assert_observationally_equal(first: GSS, second: GSS, items) -> None:
+    """Every query the sketches can answer must agree exactly."""
+    assert first.reconstruct_sketch_edges() == second.reconstruct_sketch_edges()
+    assert sorted(first.buffer.edges()) == sorted(second.buffer.edges())
+    assert first.matrix_edge_count == second.matrix_edge_count
+    assert first.buffer_edge_count == second.buffer_edge_count
+    nodes = {f"n{s}" for s, _, _ in items} | {f"n{d}" for _, d, _ in items}
+    for node in nodes:
+        assert first.successor_hashes(node) == second.successor_hashes(node)
+        assert first.precursor_hashes(node) == second.precursor_hashes(node)
+        assert first.successor_query(node) == second.successor_query(node)
+        assert first.node_out_weight(node) == second.node_out_weight(node)
+        for other in nodes:
+            assert first.edge_query_opt(node, other) == second.edge_query_opt(node, other)
+
+
+@requires_numpy
+class TestBackendEquivalence:
+    @given(items=streams, config=configs)
+    @settings(max_examples=60, deadline=None)
+    def test_batched_numpy_equals_scalar_python(self, items, config):
+        python_sketch = build_python(config, items)
+        numpy_sketch = GSS(replace(config, backend="numpy"))
+        assert numpy_sketch.backend_name == "numpy"
+        batch = named(items)
+        # Uneven chunks exercise cross-batch cache reuse and the scalar tails.
+        third = max(1, len(batch) // 3)
+        numpy_sketch.update_many(batch[:third])
+        numpy_sketch.update_many(batch[third:])
+        assert numpy_sketch.update_count == python_sketch.update_count
+        assert_observationally_equal(python_sketch, numpy_sketch, items)
+
+    @given(items=streams, config=configs)
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_numpy_equals_scalar_python(self, items, config):
+        python_sketch = build_python(config, items)
+        numpy_sketch = GSS(replace(config, backend="numpy"))
+        for source, destination, weight in named(items):
+            numpy_sketch.update(source, destination, weight)
+        assert_observationally_equal(python_sketch, numpy_sketch, items)
+
+    @given(items=streams, config=configs)
+    @settings(max_examples=40, deadline=None)
+    def test_numpy_matches_its_own_unindexed_reference_scans(self, items, config):
+        numpy_sketch = GSS(replace(config, backend="numpy"))
+        numpy_sketch.update_many(named(items))
+        assert numpy_sketch.reconstruct_sketch_edges() == (
+            numpy_sketch.reconstruct_sketch_edges_unindexed()
+        )
+        for node in {f"n{s}" for s, _, _ in items}:
+            node_hash = numpy_sketch.node_hash(node)
+            for forward in (True, False):
+                assert numpy_sketch._neighbor_hashes(node_hash, forward) == (
+                    numpy_sketch._neighbor_hashes_unindexed(node_hash, forward)
+                )
+
+    def test_overflowing_stream_hits_buffer_identically(self):
+        config = GSSConfig(matrix_width=2, fingerprint_bits=4, rooms=1,
+                           sequence_length=2, candidate_buckets=2)
+        items = [(s, d, 1.0) for s in range(12) for d in range(12)]
+        python_sketch = build_python(config, items)
+        numpy_sketch = GSS(replace(config, backend="numpy"))
+        numpy_sketch.update_many(named(items))
+        assert numpy_sketch.buffer_edge_count > 0  # the scenario actually overflows
+        assert_observationally_equal(python_sketch, numpy_sketch, items)
+
+    def test_update_many_by_hash_replay(self):
+        config = GSSConfig(matrix_width=6, fingerprint_bits=8,
+                           sequence_length=4, candidate_buckets=4)
+        items = [(s % 9, (s * 3 + 1) % 9, float(1 + s % 4)) for s in range(60)]
+        source = build_python(config, items)
+        replayed_python = GSS(config)
+        replayed_python.update_many_by_hash(source.reconstruct_sketch_edges())
+        replayed_numpy = GSS(replace(config, backend="numpy"))
+        replayed_numpy.update_many_by_hash(source.reconstruct_sketch_edges())
+        assert replayed_numpy.reconstruct_sketch_edges() == (
+            replayed_python.reconstruct_sketch_edges()
+        )
+
+    def test_wide_hash_range_fallback_path(self):
+        # fingerprint_bits=32 pushes H(s)*M+H(d) past uint64: the tuple-key
+        # ingest fallback must stay observationally identical.
+        config = GSSConfig(matrix_width=6, fingerprint_bits=32,
+                           sequence_length=3, candidate_buckets=3)
+        items = [(s % 7, (s * 2 + 1) % 7, 1.0) for s in range(40)]
+        python_sketch = build_python(config, items)
+        numpy_sketch = GSS(replace(config, backend="numpy"))
+        assert not numpy_sketch._matrix._packed_keys
+        numpy_sketch.update_many(named(items))
+        assert_observationally_equal(python_sketch, numpy_sketch, items)
+
+
+@requires_numpy
+class TestCrossBackendRoundTrips:
+    def _sample_items(self):
+        return [(s % 9, (s * 3 + 1) % 9, float(1 + s % 4)) for s in range(60)]
+
+    @pytest.mark.parametrize("source_backend,target_backend", [
+        ("python", "numpy"), ("numpy", "python"),
+        ("python", "python"), ("numpy", "numpy"),
+    ])
+    def test_serialization_round_trips_across_backends(self, source_backend, target_backend):
+        config = GSSConfig(matrix_width=6, fingerprint_bits=8, sequence_length=4,
+                           candidate_buckets=4, backend=source_backend)
+        original = GSS(config)
+        original.update_many(named(self._sample_items()))
+        restored = sketch_from_dict(sketch_to_dict(original), backend=target_backend)
+        assert restored.backend_name == target_backend
+        assert restored.reconstruct_sketch_edges() == original.reconstruct_sketch_edges()
+        assert restored.update_count == original.update_count
+        assert restored.matrix_edge_count == original.matrix_edge_count
+        for node in original.node_index.known_nodes():
+            assert restored.successor_hashes(node) == original.successor_hashes(node)
+            assert restored.precursor_hashes(node) == original.precursor_hashes(node)
+
+    def test_snapshot_records_backend_and_defaults_to_it(self):
+        config = GSSConfig(matrix_width=6, backend="numpy",
+                           sequence_length=2, candidate_buckets=2)
+        sketch = GSS(config)
+        sketch.update("a", "b", 2.0)
+        document = sketch_to_dict(sketch)
+        assert document["config"]["backend"] == "numpy"
+        assert sketch_from_dict(document).backend_name == "numpy"
+
+    def test_merge_across_backends(self):
+        base = GSSConfig(matrix_width=8, fingerprint_bits=8, sequence_length=4,
+                         candidate_buckets=4, seed=7)
+        first = GSS(replace(base, backend="python"))
+        second = GSS(replace(base, backend="numpy"))
+        first.update_many([(f"n{i}", f"n{(i + 1) % 10}", 1.0) for i in range(10)])
+        second.update_many([(f"n{i}", f"n{(i + 2) % 10}", 2.0) for i in range(10)])
+        merged = merge_sketches([first, second])
+        reference = merge_sketches([
+            first, sketch_from_dict(sketch_to_dict(second), backend="python"),
+        ])
+        assert merged.reconstruct_sketch_edges() == reference.reconstruct_sketch_edges()
+        # And merging INTO a numpy sketch works symmetrically.
+        target = GSS(replace(base, backend="numpy"))
+        merge_into(target, first)
+        merge_into(target, second)
+        assert sorted(target.reconstruct_sketch_edges()) == sorted(
+            merged.reconstruct_sketch_edges()
+        )
+
+
+@requires_numpy
+class TestWrappersOnNumpyBackend:
+    def test_windowed_wrapper(self):
+        items = [(f"n{i % 7}", f"n{(i * 2) % 7}", 1.0, float(i)) for i in range(50)]
+        results = {}
+        for backend in ("python", "numpy"):
+            config = GSSConfig(matrix_width=8, sequence_length=4,
+                               candidate_buckets=4, backend=backend)
+            window = WindowedGSS(config, window_span=20.0, slices=4)
+            window.update_many(items)
+            results[backend] = (
+                window.active_slice_count,
+                {node: window.successor_query(node) for node, _, _, _ in items},
+                {(s, d): window.edge_query(s, d) for s, d, _, _ in items},
+            )
+        assert results["python"] == results["numpy"]
+
+    def test_partitioned_wrapper(self):
+        items = [(f"n{i % 9}", f"n{(i * 4) % 9}", float(1 + i % 3)) for i in range(60)]
+        results = {}
+        for backend in ("python", "numpy"):
+            config = GSSConfig(matrix_width=8, sequence_length=4,
+                               candidate_buckets=4, backend=backend)
+            sharded = PartitionedGSS(config, partitions=3)
+            sharded.update_many(items)
+            results[backend] = (
+                sharded.shard_loads(),
+                {(s, d): sharded.edge_query(s, d) for s, d, _ in items},
+            )
+        assert results["python"] == results["numpy"]
+        config = GSSConfig(matrix_width=8, sequence_length=4,
+                           candidate_buckets=4, backend="numpy")
+        sharded = PartitionedGSS(config, partitions=3)
+        sharded.update_many(items)
+        merged = sharded.merge_into_single()
+        assert merged.backend_name == "numpy"
+        assert merged.matrix_edge_count + merged.buffer_edge_count > 0
+
+    def test_undirected_and_ensemble_wrappers(self):
+        items = [(f"n{i % 6}", f"n{(i + 2) % 6}", 1.0) for i in range(30)]
+        for backend in ("python", "numpy"):
+            config = GSSConfig(matrix_width=8, fingerprint_bits=8, sequence_length=4,
+                               candidate_buckets=4, backend=backend)
+            undirected = UndirectedGSS(config)
+            undirected.update_many(items)
+            assert undirected.sketch.backend_name == backend
+            assert undirected.edge_query("n0", "n2") == undirected.edge_query("n2", "n0")
+            ensemble = GSSEnsemble(config, sketches=2)
+            ensemble.update_many(items)
+            assert all(member.backend_name == backend for member in ensemble.members)
+            assert ensemble.edge_query("n0", "n2") >= 1.0
+
+
+class TestBackendSelection:
+    def test_python_is_the_zero_dependency_default(self):
+        assert GSSConfig(matrix_width=4).backend == "python"
+        assert GSS(GSSConfig(matrix_width=4)).backend_name == "python"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            GSSConfig(matrix_width=4, backend="fortran")
+
+    def test_auto_resolves_to_available_backend(self):
+        expected = "numpy" if NUMPY_AVAILABLE else "python"
+        assert resolve_backend_name("auto") == expected
+        assert GSS(GSSConfig(matrix_width=4, backend="auto")).backend_name == expected
+
+    def test_numpy_request_without_numpy_falls_back_with_warning(self, monkeypatch):
+        import repro.core.backends as backends_module
+
+        monkeypatch.setattr(backends_module, "NUMPY_AVAILABLE", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sketch = GSS(GSSConfig(matrix_width=4, backend="numpy"))
+        assert sketch.backend_name == "python"
+        assert any("falling back" in str(w.message) for w in caught)
+        sketch.update("a", "b", 1.0)
+        assert sketch.edge_query("a", "b") == 1.0
+
+    def test_python_backend_structural_views_still_exposed(self):
+        sketch = GSS(GSSConfig(matrix_width=4, sequence_length=2, candidate_buckets=2))
+        sketch.update("a", "b", 1.0)
+        assert sketch._room_map
+        assert sketch._row_occupancy
+        assert sketch._col_occupancy

@@ -75,3 +75,37 @@ class TestFileRoundTrip:
         for key in list(truth)[:200]:
             assert restored.edge_query(*key) == populated_sketch.edge_query(*key)
         assert restored.buffer_edge_count == populated_sketch.buffer_edge_count
+
+
+class TestHashVersionGuard:
+    def test_snapshot_records_hash_version(self, populated_sketch):
+        from repro.hashing.hash_functions import HASH_VERSION
+
+        assert sketch_to_dict(populated_sketch)["hash_version"] == HASH_VERSION
+
+    def test_newer_hash_version_rejected(self, populated_sketch):
+        document = sketch_to_dict(populated_sketch)
+        document["hash_version"] = 99
+        with pytest.raises(ValueError, match="hash version"):
+            sketch_from_dict(document)
+
+    def test_older_hash_version_warns_but_loads(self, populated_sketch):
+        import warnings
+
+        document = sketch_to_dict(populated_sketch)
+        document["hash_version"] = 1
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            restored = sketch_from_dict(document)
+        assert any("hash version" in str(w.message) for w in caught)
+        assert restored.update_count == populated_sketch.update_count
+
+    def test_missing_hash_version_treated_as_v1(self, populated_sketch):
+        import warnings
+
+        document = sketch_to_dict(populated_sketch)
+        del document["hash_version"]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sketch_from_dict(document)
+        assert any("hash version" in str(w.message) for w in caught)
