@@ -23,7 +23,6 @@ from repro.baselines import WindowedExactMatcher
 from repro.datasets import load_dataset
 from repro.datasets.synthetic import labeled_stream
 from repro.experiments.subgraph import random_walk_pattern
-from repro.queries.primitives import EDGE_NOT_FOUND
 from repro.queries.reachability import is_reachable
 from repro.queries.subgraph import LabeledDiGraph, SubgraphMatcher
 from repro.streaming.window import tumbling_windows
@@ -69,7 +68,7 @@ def main() -> None:
         print(f"machines that talked to {broken!r}: {len(clients)}")
         for client in list(clients)[:3]:
             weight = sketch.edge_query(client, broken)
-            if weight != EDGE_NOT_FOUND:
+            if weight is not None:
                 print(f"  {client} -> {broken}: {weight:.0f} messages")
 
         # 3. Is a suspicious labeled communication pattern present?

@@ -65,7 +65,8 @@ def main() -> None:
     checked = 0
     for source, destination in stream.distinct_edge_keys()[:500]:
         checked += 1
-        if merged.edge_query(source, destination) >= monolithic.edge_query(source, destination):
+        merged_estimate = merged.edge_query(source, destination) or 0.0
+        if merged_estimate >= (monolithic.edge_query(source, destination) or 0.0):
             agreement += 1
     print(f"merged-vs-monolithic edge estimates: {agreement}/{checked} merged answers "
           f"cover the monolithic estimate")

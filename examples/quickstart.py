@@ -1,54 +1,61 @@
-"""Quickstart: build a GSS over a graph stream and run the query primitives.
+"""Quickstart: the ``repro.api`` facade end to end.
 
 Run with::
 
     python examples/quickstart.py
 
-The script generates a synthetic analog of the paper's email-EuAll dataset,
-summarizes it with GSS, and compares the three graph query primitives (edge
-query, 1-hop successor query, 1-hop precursor query) plus a compound node
-query against the exact ground truth.
+The script walks the public API surface: list the sketch registry, open a
+:class:`~repro.api.StreamSession` on a synthetic analog of the paper's
+email-EuAll dataset (the sketch is auto-sized from the stream), run the three
+graph query primitives plus a compound node query against the exact ground
+truth, build an equal-memory TCM through the factory for comparison, and
+round-trip the sketch through its snapshot document.
 """
 
 from __future__ import annotations
 
-from repro import GSS, GSSConfig, AdjacencyListGraph
+from repro import AdjacencyListGraph
+from repro.api import SketchSpec, StreamSession, build, from_dict, list_sketches
 from repro.datasets import load_dataset
 from repro.metrics import average_precision, average_relative_error
-from repro.queries.primitives import EDGE_NOT_FOUND, consume_stream
 
 
 def main() -> None:
-    # 1. A graph stream: a sequence of (source, destination; timestamp; weight) items.
+    # 1. The registry: everything the factory can build.
+    print(f"registered sketches: {', '.join(list_sketches())}")
+
+    # 2. A graph stream plus an ingestion session.  The spec carries no
+    #    explicit size, so the session sizes the sketch from the stream's
+    #    distinct edge count (the paper's m ~ sqrt(|E|) guidance).
     stream = load_dataset("email-EuAll", scale=0.2)
     statistics = stream.statistics()
     print(f"stream '{stream.name}': {statistics.item_count} items, "
           f"{statistics.distinct_edges} distinct edges, {statistics.node_count} nodes")
 
-    # 2. Size the sketch for the expected number of distinct edges (m ~ sqrt(|E|)).
-    config = GSSConfig.for_edge_count(
-        statistics.distinct_edges, fingerprint_bits=16, sequence_length=8, candidate_buckets=8
+    session = StreamSession(
+        SketchSpec("gss", params={"sequence_length": 8, "candidate_buckets": 8})
     )
-    sketch = GSS(config)
-    sketch.ingest(stream)
-    print(f"GSS: {config.matrix_width}x{config.matrix_width} matrix, "
-          f"{config.rooms} rooms/bucket, {sketch.buffer_edge_count} buffered edges, "
+    report = session.feed(stream)
+    sketch = session.summary
+    print(f"GSS: ingested {report.items} items in {report.batches} batches "
+          f"({report.items_per_second:.0f} items/s), "
           f"{sketch.memory_bytes() / 1024:.1f} KiB")
 
-    # 3. Exact ground truth for comparison.
-    exact = consume_stream(AdjacencyListGraph(), stream)
+    # 3. Exact ground truth for comparison (exact stores feed the same way).
+    exact = AdjacencyListGraph()
+    StreamSession(exact).feed(stream)
 
-    # 4. Edge queries: the estimate is never below the true weight.
+    # 4. Edge queries: the estimate is never below the true weight, and an
+    #    absent edge is reported as None (not the paper's ambiguous -1.0).
     truth = stream.aggregate_weights()
     sample = list(truth)[:2000]
-    pairs = [(sketch.edge_query(*key), truth[key]) for key in sample]
+    pairs = [(sketch.edge_query(*key) or 0.0, truth[key]) for key in sample]
     print(f"edge query ARE over {len(sample)} edges: {average_relative_error(pairs):.6f}")
 
     some_edge = sample[0]
     print(f"  example: edge {some_edge} -> GSS {sketch.edge_query(*some_edge)}, "
           f"exact {exact.edge_query(*some_edge)}")
-    print(f"  absent edge ('ghost', 'node') -> {sketch.edge_query('ghost', 'node')} "
-          f"(-1 means not found, EDGE_NOT_FOUND={EDGE_NOT_FOUND})")
+    print(f"  absent edge ('ghost', 'node') -> {sketch.edge_query('ghost', 'node')!r}")
 
     # 5. 1-hop successor / precursor queries.
     successor_truth = stream.successors()
@@ -61,12 +68,23 @@ def main() -> None:
     busiest = max(successor_truth, key=lambda node: len(successor_truth[node]))
     print(f"  busiest node {busiest!r}: {len(successor_truth[busiest])} true successors, "
           f"GSS reports {len(sketch.successor_query(busiest))}")
-    print(f"  precursors of {busiest!r}: exact {len(exact.precursor_query(busiest))}, "
-          f"GSS {len(sketch.precursor_query(busiest))}")
 
-    # 6. Compound query built on the primitives: aggregated out-weight of a node.
+    # 6. Compound query built on the primitives: aggregated out-weight.
     print(f"node query (out-weight) of {busiest!r}: GSS {sketch.node_out_weight(busiest):.0f}, "
           f"exact {exact.node_out_weight(busiest):.0f}")
+
+    # 7. An equal-memory baseline through the factory: TCM granted the
+    #    paper's 8x handicap, fed through its own session.
+    tcm = build(SketchSpec("tcm", memory_bytes=8 * sketch.memory_bytes()))
+    StreamSession(tcm).feed(stream)
+    tcm_pairs = [(tcm.edge_query(*key) or 0.0, truth[key]) for key in sample]
+    print(f"TCM(8x memory) edge ARE: {average_relative_error(tcm_pairs):.6f} "
+          f"(GSS is more accurate at an eighth of the memory)")
+
+    # 8. Checkpoint and restore through the snapshot document.
+    restored = from_dict(sketch.to_dict())
+    assert restored.edge_query(*some_edge) == sketch.edge_query(*some_edge)
+    print("snapshot round-trip: restored sketch answers identically")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,6 @@ from repro.core.windowed import WindowedGSS
 from repro.datasets import load_dataset
 from repro.datasets.perturbations import burst_stream
 from repro.queries.heavy_changers import top_k_changers
-from repro.queries.primitives import EDGE_NOT_FOUND
 
 
 def main() -> None:
@@ -54,7 +53,7 @@ def main() -> None:
     earliest_edge = stream[0].key
     weight = window.edge_query(*earliest_edge)
     print(f"oldest edge {earliest_edge}: "
-          f"{'expired from the window' if weight == EDGE_NOT_FOUND else f'weight {weight:.0f}'}")
+          f"{'expired from the window' if weight is None else f'weight {weight:.0f}'}")
 
     # 4. Epoch-over-epoch heavy changers: split the stream in two halves and
     #    summarize each half with its own sketch.

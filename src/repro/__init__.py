@@ -7,26 +7,32 @@ gSketch / TRIEST baselines, an exact subgraph matcher, the query layer built
 on the three graph query primitives, the analytical models of Section VI and
 an experiment harness that regenerates every table and figure.
 
-Quickstart::
+The stable public surface is :mod:`repro.api` — the :class:`GraphSummary`
+protocol, the sketch registry/factory and the :class:`StreamSession`
+ingestion facade.  Quickstart::
 
-    from repro import GSS, GSSConfig
-    from repro.datasets import load_dataset
+    from repro.api import StreamSession, build, list_sketches
 
-    stream = load_dataset("email-EuAll")
-    sketch = GSS(GSSConfig.for_edge_count(stream.statistics().distinct_edges))
-    sketch.ingest(stream)
-    print(sketch.edge_query("n1", "n2"))
+    session = StreamSession("gss")            # auto-sized from the stream
+    session.feed_dataset("email-EuAll")
+    sketch = session.summary
+    print(sketch.edge_query("n1", "n2"))      # float, or None when absent
     print(sketch.successor_query("n1"))
+
+The concrete classes remain importable from their subpackages (and from here)
+for code that needs structure-specific surface area.
 """
 
+from repro import api
 from repro.core import GSS, GSSBasic, GSSConfig
 from repro.baselines import TCM, GMatrix, CountMinSketch, CountMinCUSketch, GSketch
 from repro.exact import AdjacencyListGraph, AdjacencyMatrixGraph
 from repro.streaming import GraphStream, StreamEdge
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "GSS",
     "GSSBasic",
     "GSSConfig",

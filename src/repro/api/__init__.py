@@ -1,0 +1,69 @@
+"""``repro.api`` — the stable public surface of the package.
+
+Three pieces make up the API (see the README's "Public API" section for a
+walkthrough):
+
+* the :class:`GraphSummary` protocol — the contract every summary structure
+  satisfies (updates, ``Optional``-returning edge queries, 1-hop
+  neighbourhood queries, node weights, memory accounting, serialization and
+  a :class:`Capabilities` descriptor for the optional parts);
+* the sketch registry and factory — :func:`build` turns a declarative
+  :class:`SketchSpec` (sketch name, parameters, backend, memory budget) into
+  an instance, with the equal-memory byte→shape arithmetic of the paper's
+  comparisons done per sketch in one place; :func:`list_sketches` and
+  :func:`sketch_info` introspect the registry, :func:`register_sketch` adds
+  new structures, and :func:`from_dict` restores any serializable sketch
+  from its snapshot document;
+* the :class:`StreamSession` ingestion facade — dataset/stream → summary
+  through the chunked batched-update path, with throughput metrics and
+  progress hooks.
+
+Quickstart::
+
+    from repro.api import SketchSpec, StreamSession, build, list_sketches
+
+    session = StreamSession("gss")                    # auto-sized from the stream
+    session.feed_dataset("email-EuAll", scale=0.25)
+    summary = session.summary
+    summary.edge_query("n1", "n2")                    # float or None
+
+    tcm = build(SketchSpec("tcm", memory_bytes=8 * summary.memory_bytes()))
+    list_sketches()                                   # everything registered
+"""
+
+from repro.api.adapters import TriestSummary
+from repro.api.protocol import (
+    Capabilities,
+    GraphQueryInterface,
+    GraphSummary,
+    UnsupportedQueryError,
+)
+from repro.api.registry import (
+    SketchInfo,
+    SketchSpec,
+    SpecSizingError,
+    build,
+    from_dict,
+    list_sketches,
+    register_sketch,
+    sketch_info,
+)
+from repro.api.session import IngestReport, StreamSession
+
+__all__ = [
+    "Capabilities",
+    "GraphQueryInterface",
+    "GraphSummary",
+    "IngestReport",
+    "SketchInfo",
+    "SketchSpec",
+    "SpecSizingError",
+    "StreamSession",
+    "TriestSummary",
+    "UnsupportedQueryError",
+    "build",
+    "from_dict",
+    "list_sketches",
+    "register_sketch",
+    "sketch_info",
+]

@@ -1,0 +1,106 @@
+"""Adapters that fit differently-shaped estimators to :class:`GraphSummary`.
+
+Most structures in the package already speak the protocol natively; the
+reservoir-based TRIEST triangle counters do not — their native surface is
+``add_edge(source, destination)`` plus ``triangle_estimate()``, with no
+notion of weights or of edge/neighbourhood queries.  The adapter gives them
+the uniform update/memory/capabilities surface so they can live in the sketch
+registry and ride through :class:`~repro.api.session.StreamSession` and the
+equal-memory experiment harness unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Set
+
+from repro.baselines.triest import TriestBase
+from repro.queries.primitives import Capabilities, SummaryShims, UnsupportedQueryError
+
+
+class TriestSummary(SummaryShims):
+    """:class:`GraphSummary` adapter around a TRIEST reservoir estimator.
+
+    Updates forward to ``add_edge`` (weights and edge direction are ignored —
+    TRIEST counts triangles of the undirected, de-duplicated graph); the graph
+    query primitives raise :class:`UnsupportedQueryError`; the triangle
+    estimate is exposed as :meth:`triangle_estimate`.
+    """
+
+    def __init__(self, estimator: TriestBase) -> None:
+        self._estimator = estimator
+        self._update_count = 0
+
+    @property
+    def estimator(self) -> TriestBase:
+        """The wrapped TRIEST instance."""
+        return self._estimator
+
+    # -- updates -----------------------------------------------------------
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Record one edge arrival (weight ignored, direction ignored)."""
+        self._update_count += 1
+        self._estimator.add_edge(source, destination)
+
+    # update_many is the inherited item-by-item default: reservoir sampling
+    # is order-dependent, so there is no batch to hoist.
+
+    def ingest(self, edges) -> "TriestSummary":
+        """Feed an iterable of stream edges (direction and weight ignored)."""
+        self.update_many(
+            (edge.source, edge.destination, edge.weight) for edge in edges
+        )
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """TRIEST keeps no per-edge weights."""
+        raise UnsupportedQueryError("TRIEST supports triangle estimates only")
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """TRIEST keeps no queryable topology."""
+        raise UnsupportedQueryError("TRIEST supports triangle estimates only")
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """TRIEST keeps no queryable topology."""
+        raise UnsupportedQueryError("TRIEST supports triangle estimates only")
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """TRIEST keeps no per-node weights."""
+        raise UnsupportedQueryError("TRIEST supports triangle estimates only")
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """TRIEST keeps no per-node weights."""
+        raise UnsupportedQueryError("TRIEST supports triangle estimates only")
+
+    def triangle_estimate(self) -> float:
+        """Estimated number of global triangles seen so far."""
+        return self._estimator.triangle_estimate()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def update_count(self) -> int:
+        """Number of stream items applied through the adapter."""
+        return self._update_count
+
+    def memory_bytes(self) -> int:
+        """Reservoir memory under a C layout."""
+        return self._estimator.memory_bytes()
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: triangle estimates only; inserts only; the
+        batch path is the generic per-item loop (reservoir sampling is
+        order-dependent, so there is nothing to hoist)."""
+        return Capabilities(
+            edge_queries=False,
+            successor_queries=False,
+            precursor_queries=False,
+            node_out_weights=False,
+            node_in_weights=False,
+            deletions=False,
+            batched_updates=False,
+            triangle_estimates=True,
+        )

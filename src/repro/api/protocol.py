@@ -1,0 +1,102 @@
+"""The :class:`GraphSummary` protocol — the contract every sketch satisfies.
+
+The paper's Definition 4 fixes three query primitives; this module widens that
+into the full production contract shared by every summary structure in the
+package (GSS and its deployment wrappers, TCM, gMatrix, CM/CU, gSketch, the
+TRIEST adapter):
+
+* ``update`` / ``update_many`` — apply stream items, scalar or batched;
+* ``edge_query`` — ``Optional[float]``: the estimated aggregate weight, or
+  ``None`` when the edge is absent (the paper's ``-1.0`` sentinel is
+  deprecated because it collides with a deleted-down-to ``-1.0`` edge);
+* ``successor_query`` / ``precursor_query`` — 1-hop neighbourhoods over
+  original node IDs;
+* ``node_out_weight`` / ``node_in_weight`` — aggregate node weights;
+* ``memory_bytes`` — the structure's footprint under the paper's C layout,
+  the quantity the equal-memory comparisons hold constant;
+* ``to_dict`` (+ the ``from_dict`` classmethod convention) — checkpointing;
+* ``capabilities`` — a :class:`Capabilities` descriptor declaring which of
+  the optional parts actually work.
+
+Structures that do not support an optional query raise
+:class:`UnsupportedQueryError` (and report ``False`` in the matching
+capability flag) rather than returning a wrong answer.  The conformance suite
+(``tests/test_api_conformance.py``) holds every registered sketch to this.
+
+``Capabilities`` and ``UnsupportedQueryError`` are defined in
+:mod:`repro.queries.primitives` so that core modules can import them without
+depending on the public API package; they are re-exported here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Protocol, Set, Tuple, runtime_checkable
+
+from repro.queries.primitives import (  # noqa: F401  (re-exports)
+    Capabilities,
+    SummaryShims,
+    GraphQueryInterface,
+    UnsupportedQueryError,
+)
+
+__all__ = [
+    "Capabilities",
+    "SummaryShims",
+    "GraphQueryInterface",
+    "GraphSummary",
+    "UnsupportedQueryError",
+]
+
+
+@runtime_checkable
+class GraphSummary(Protocol):
+    """Structural protocol of a graph-stream summary.
+
+    Every object returned by :func:`repro.api.build` satisfies this protocol
+    (``isinstance(summary, GraphSummary)`` holds — the class is
+    ``runtime_checkable``).  Optional queries may raise
+    :class:`UnsupportedQueryError`; consult :meth:`capabilities` before
+    relying on them.
+    """
+
+    # -- updates -----------------------------------------------------------
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Apply one stream item (add ``weight`` to edge ``source -> destination``)."""
+
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of ``(source, destination, weight)`` items; return the count."""
+
+    # -- query primitives --------------------------------------------------
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Estimated aggregate weight of the edge, or ``None`` when absent."""
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Original node IDs 1-hop reachable from ``node``."""
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Original node IDs that reach ``node`` in one hop."""
+
+    # -- compound queries --------------------------------------------------
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """Aggregate weight of the out-going edges of ``node``."""
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """Aggregate weight of the in-coming edges of ``node``."""
+
+    # -- introspection and persistence -------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Memory footprint under the paper's C layout (the comparison unit)."""
+
+    def capabilities(self) -> Capabilities:
+        """Which optional protocol features this structure supports."""
+
+    def to_dict(self) -> Dict:
+        """Snapshot document (JSON-compatible); classes with
+        ``capabilities().serializable`` false raise
+        :class:`UnsupportedQueryError`.  Serializable classes also provide a
+        ``from_dict(document)`` classmethod; :func:`repro.api.from_dict`
+        dispatches on the document's ``"sketch"`` tag."""

@@ -1,0 +1,212 @@
+"""The ingestion facade: dataset/stream → summary, chunked, with metrics.
+
+Every experiment runner (and most applications) repeats the same loop: load a
+dataset analog, size a sketch for it, feed the stream through the batched
+``update_many`` path in chunks, and keep an eye on throughput.
+:class:`StreamSession` packages that loop once:
+
+* accepts a ready-made summary, a :class:`~repro.api.registry.SketchSpec`
+  or a registered sketch name;
+* feeds :class:`~repro.streaming.stream.GraphStream` instances, iterables of
+  :class:`~repro.streaming.edge.StreamEdge`, bare ``(source, destination,
+  weight)`` triples, or a registered dataset by name;
+* auto-sizes a spec without explicit sizing from the stream's statistics
+  (``expected_edges`` = the stream's distinct edge count);
+* chunks through ``update_many`` when the summary has one (scalar fallback
+  otherwise), preserves timestamps for windowed summaries, and reports
+  items/batches/seconds/throughput, optionally through a progress hook.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Union
+
+from repro.api.protocol import GraphSummary
+from repro.api.registry import SketchSpec, SpecSizingError, build
+
+__all__ = ["IngestReport", "StreamSession"]
+
+
+@dataclass
+class IngestReport:
+    """Metrics of one (or the running total of all) ``feed`` calls."""
+
+    items: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+
+    @property
+    def items_per_second(self) -> float:
+        """Observed ingestion throughput (0 when nothing was timed)."""
+        return self.items / self.seconds if self.seconds > 0 else 0.0
+
+
+class StreamSession:
+    """Ingestion facade around one summary structure.
+
+    Parameters
+    ----------
+    summary:
+        A summary instance, a :class:`SketchSpec`, or a registered sketch
+        name.  A spec (or name) without explicit sizing is built lazily on
+        the first ``feed`` of a :class:`GraphStream`, sized for the stream's
+        distinct edge count.
+    batch_size:
+        Chunk size for the batched ``update_many`` path.
+    on_progress:
+        Optional hook called with an :class:`IngestReport` after every chunk
+        and once more when a ``feed`` completes.
+
+    Examples
+    --------
+    >>> from repro.api import StreamSession
+    >>> session = StreamSession("gss")
+    >>> report = session.feed_dataset("email-EuAll", scale=0.05)
+    >>> summary = session.summary
+    >>> summary.edge_query("n1", "n2") is not None or True
+    True
+    """
+
+    def __init__(
+        self,
+        summary: Union[GraphSummary, SketchSpec, str],
+        *,
+        batch_size: int = 1024,
+        on_progress: Optional[Callable[[IngestReport], None]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.batch_size = batch_size
+        self.on_progress = on_progress
+        self._pending_spec: Optional[SketchSpec] = None
+        self._summary: Optional[GraphSummary] = None
+        if isinstance(summary, str):
+            summary = SketchSpec(summary)
+        if isinstance(summary, SketchSpec):
+            try:
+                # Specs sized any way the registry accepts (explicit size
+                # params included) build immediately; only the dedicated
+                # needs-sizing rejection defers to the first feed — every
+                # other spec error (unknown sketch, bad parameters, missing
+                # required ones) fails fast at the call site.
+                self._summary = build(summary)
+            except SpecSizingError:
+                self._pending_spec = summary  # sized on first feed
+        else:
+            self._summary = summary
+        self._total = IngestReport()
+
+    # -- summary access ------------------------------------------------------
+
+    @property
+    def summary(self) -> GraphSummary:
+        """The summary being fed; raises until a lazily-sized spec is built."""
+        if self._summary is None:
+            raise RuntimeError(
+                "the summary has not been built yet: feed a GraphStream (or "
+                "dataset) so the spec can be sized, or give the spec explicit "
+                "sizing"
+            )
+        return self._summary
+
+    @property
+    def stats(self) -> IngestReport:
+        """Cumulative metrics across every ``feed`` call."""
+        return self._total
+
+    def _materialize(self, stream) -> GraphSummary:
+        """Build a lazily-sized spec from the stream's statistics."""
+        if self._summary is None:
+            spec = self._pending_spec
+            statistics = stream.statistics()
+            self._summary = build(
+                spec, expected_edges=max(1, statistics.distinct_edges)
+            )
+            self._pending_spec = None
+        return self._summary
+
+    # -- feeding -------------------------------------------------------------
+
+    def feed_dataset(
+        self, name: str, *, scale: float = 1.0, seed: Optional[int] = None
+    ) -> IngestReport:
+        """Load a registered dataset analog and feed it."""
+        from repro.datasets.registry import load_dataset
+
+        return self.feed(load_dataset(name, scale=scale, seed=seed))
+
+    def feed(self, source: Union[Iterable, str]) -> IngestReport:
+        """Feed a stream into the summary; returns this call's metrics.
+
+        ``source`` may be a :class:`GraphStream`, any iterable of
+        ``StreamEdge``-like objects (anything with ``source`` /
+        ``destination`` / ``weight`` attributes), an iterable of
+        ``(source, destination, weight)`` triples, or a dataset name.
+        """
+        if isinstance(source, str):
+            return self.feed_dataset(source)
+        if self._summary is None:
+            if not hasattr(source, "statistics"):
+                raise RuntimeError(
+                    "a spec without sizing can only be auto-sized from a "
+                    "GraphStream (or dataset name); give the spec "
+                    "memory_bytes/expected_edges to feed raw iterables"
+                )
+            self._materialize(source)
+        summary = self._summary
+        # Windowed summaries route items by timestamp, so StreamEdge inputs
+        # keep their fourth element; everything else gets plain triples.
+        capabilities = getattr(summary, "capabilities", None)
+        windowed = bool(capabilities and capabilities().windowed)
+        update_many = getattr(summary, "update_many", None)
+
+        report = IngestReport()
+        started = time.perf_counter()
+
+        def flush(batch) -> None:
+            if update_many is not None:
+                update_many(batch)
+            else:
+                # Star-unpack so a windowed summary's timestamp (the optional
+                # fourth element) reaches update() instead of being dropped.
+                for item in batch:
+                    summary.update(*item)
+            report.items += len(batch)
+            report.batches += 1
+            report.seconds = time.perf_counter() - started
+            self._notify(report)
+
+        batch = []
+        for item in source:
+            if hasattr(item, "source"):
+                if windowed:
+                    # Edge-like objects without a timestamp fall back to the
+                    # windowed summary's implicit one-unit-per-item clock.
+                    triple = (
+                        item.source,
+                        item.destination,
+                        item.weight,
+                        getattr(item, "timestamp", None),
+                    )
+                else:
+                    triple = (item.source, item.destination, item.weight)
+            else:
+                triple = item
+            batch.append(triple)
+            if len(batch) >= self.batch_size:
+                flush(batch)
+                batch = []
+        if batch:
+            flush(batch)
+        report.seconds = time.perf_counter() - started
+        self._total.items += report.items
+        self._total.batches += report.batches
+        self._total.seconds += report.seconds
+        self._notify(report)
+        return report
+
+    def _notify(self, report: IngestReport) -> None:
+        if self.on_progress is not None:
+            self.on_progress(report)

@@ -8,14 +8,15 @@ but cannot enumerate successors, precursors or reachability.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.backends import resolve_backend_name
 from repro.hashing.hash_functions import hash_key
 from repro.hashing.vectorized import hash_strings_array, load_numpy
+from repro.queries.primitives import Capabilities, SummaryShims, UnsupportedQueryError
 
 
-class CountMinSketch:
+class CountMinSketch(SummaryShims):
     """Standard Count-Min sketch keyed by the edge's (source, destination) pair.
 
     ``backend`` selects the counter storage: ``"python"`` nested lists (the
@@ -97,11 +98,32 @@ class CountMinSketch:
             self.update(edge.source, edge.destination, edge.weight)
         return self
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Count-Min estimate: minimum counter across the rows."""
-        return float(
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Count-Min estimate: minimum counter across the rows.
+
+        ``None`` when the minimum is zero — for an insert-only stream a zero
+        counter proves the edge never appeared.
+        """
+        estimate = float(
             min(self.counters[row][column] for row, column in self._positions(source, destination))
         )
+        return estimate if estimate != 0.0 else None
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """CM sketches store no topology."""
+        raise UnsupportedQueryError(f"{type(self).__name__} stores no topology")
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """CM sketches store no topology."""
+        raise UnsupportedQueryError(f"{type(self).__name__} stores no topology")
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """CM sketches cannot aggregate per-node weights."""
+        raise UnsupportedQueryError(f"{type(self).__name__} stores no topology")
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """CM sketches cannot aggregate per-node weights."""
+        raise UnsupportedQueryError(f"{type(self).__name__} stores no topology")
 
     @property
     def update_count(self) -> int:
@@ -111,3 +133,49 @@ class CountMinSketch:
     def memory_bytes(self) -> int:
         """Counter memory under a C layout (32-bit counters)."""
         return self.depth * self.width * 4
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: edge-weight queries only, counters serialize."""
+        return Capabilities(
+            successor_queries=False,
+            precursor_queries=False,
+            node_out_weights=False,
+            node_in_weights=False,
+            serializable=True,
+        )
+
+    _SKETCH_TAG = "cm"
+
+    def to_dict(self) -> Dict:
+        """Serialize the counter rows to a document."""
+        return {
+            "sketch": self._SKETCH_TAG,
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "backend": self.backend,
+            "update_count": self._update_count,
+            "counters": [
+                [float(value) for value in row] for row in self.counters
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict, backend: Optional[str] = None) -> "CountMinSketch":
+        """Rebuild a sketch from a :meth:`to_dict` document."""
+        sketch = cls(
+            width=document["width"],
+            depth=document["depth"],
+            seed=document.get("seed", 0),
+            backend=backend if backend is not None else document.get("backend", "python"),
+        )
+        if sketch.backend == "numpy":
+            np = load_numpy()
+            sketch.counters = np.asarray(document["counters"], dtype=np.float64)
+        else:
+            sketch.counters = [
+                [float(value) for value in row] for row in document["counters"]
+            ]
+        sketch._update_count = document.get("update_count", 0)
+        return sketch

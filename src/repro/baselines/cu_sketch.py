@@ -8,9 +8,11 @@ only and supports no topology queries — the limitation that motivates GSS.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Hashable, Iterable, Tuple
 
 from repro.baselines.cm_sketch import CountMinSketch
+from repro.queries.primitives import Capabilities
 
 
 class CountMinCUSketch(CountMinSketch):
@@ -20,6 +22,15 @@ class CountMinCUSketch(CountMinSketch):
     weight (deletion) falls back to the plain CM update so the estimate stays
     an upper bound.
     """
+
+    _SKETCH_TAG = "cu"
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Like CM, but the batched path cannot be optimized: conservative
+        update is order-dependent, so ``update_many`` applies the scalar rule
+        per item."""
+        return replace(CountMinSketch.capabilities(), batched_updates=False)
 
     def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
         """Raise only the minimal counters (conservative update)."""

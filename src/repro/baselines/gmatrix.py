@@ -15,14 +15,14 @@ enumerated, which captures exactly that behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.backends import resolve_backend_name
 from repro.hashing.vectorized import load_numpy
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import Capabilities, SummaryShims
 
 
-class GMatrix:
+class GMatrix(SummaryShims):
     """Single-sketch gMatrix with a reversible affine node hash.
 
     ``backend`` selects the counter storage (``python`` list / ``numpy``
@@ -43,6 +43,7 @@ class GMatrix:
             raise ValueError("width must be positive")
         self.width = width
         self.universe_size = universe_size
+        self.seed = seed
         self.multiplier = multiplier + 2 * seed  # keep it odd so it stays invertible
         if self.multiplier % 2 == 0:
             self.multiplier += 1
@@ -137,14 +138,21 @@ class GMatrix:
 
     # -- primitives ------------------------------------------------------------------
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Estimated edge weight, or ``-1`` when the counter is zero."""
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Estimated edge weight, or ``None`` when the counter is zero.
+
+        A non-zero counter — including a negative one after deletions — is
+        reported as-is, so a real edge deleted below zero stays
+        distinguishable from an absent edge (only a counter deleted to
+        exactly zero is indistinguishable, which is inherent to counter
+        sketches).
+        """
         if source not in self._intern or destination not in self._intern:
-            return EDGE_NOT_FOUND
+            return None
         row = self._hash(self._intern[source])
         column = self._hash(self._intern[destination])
         value = float(self.counters[row * self.width + column])
-        return value if value > 0 else EDGE_NOT_FOUND
+        return value if value != 0.0 else None
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Original IDs recovered by reversing the non-zero columns of the row."""
@@ -187,3 +195,60 @@ class GMatrix:
     def memory_bytes(self) -> int:
         """Counter memory under a C layout (32-bit counters)."""
         return self.width * self.width * 4
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: reversible topology queries, no in-weight query."""
+        return Capabilities(
+            node_in_weights=False,
+            serializable=True,
+        )
+
+    def to_dict(self) -> Dict:
+        """Serialize counters plus the interning table (arrival order matters:
+        it determines every node's affine hash)."""
+        if not all(
+            isinstance(node, (str, int, float, bool)) for node in self._known_ids
+        ):
+            raise ValueError(
+                "gMatrix serialization requires scalar node IDs (the interning "
+                "order must be reconstructable from JSON)"
+            )
+        return {
+            "sketch": "gmatrix",
+            "width": self.width,
+            "universe_size": self.universe_size,
+            "seed": self.seed,
+            # The affine coefficients are recorded directly: they may have
+            # been customised at construction, and every hash depends on them.
+            "multiplier": self.multiplier,
+            "increment": self.increment,
+            "backend": self.backend,
+            "update_count": self._update_count,
+            "counters": [float(value) for value in self.counters],
+            "known_ids": list(self._known_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict, backend: Optional[str] = None) -> "GMatrix":
+        """Rebuild a gMatrix from a :meth:`to_dict` document."""
+        summary = cls(
+            width=document["width"],
+            universe_size=document.get("universe_size", 1 << 20),
+            seed=document.get("seed", 0),
+            backend=backend if backend is not None else document.get("backend", "python"),
+        )
+        if "multiplier" in document:
+            summary.multiplier = document["multiplier"]
+        if "increment" in document:
+            summary.increment = document["increment"]
+        counters = document["counters"]
+        if summary.backend == "numpy":
+            np = load_numpy()
+            summary.counters = np.asarray(counters, dtype=np.float64)
+        else:
+            summary.counters = [float(value) for value in counters]
+        for node in document.get("known_ids", []):
+            summary._intern_node(node)
+        summary._update_count = document.get("update_count", 0)
+        return summary

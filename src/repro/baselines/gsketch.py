@@ -10,14 +10,19 @@ the query interface identical: edge-weight queries only, no topology.
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.baselines.cm_sketch import CountMinSketch
 from repro.hashing.hash_functions import hash_key
+from repro.queries.primitives import Capabilities, SummaryShims, UnsupportedQueryError
 
 
-class GSketch:
-    """A bank of CM sketches, one per source-node partition."""
+class GSketch(SummaryShims):
+    """A bank of CM sketches, one per source-node partition.
+
+    ``backend`` threads through to the per-partition CM sketches (``python``
+    list counters, ``numpy`` arrays with the batched scatter, or ``auto``).
+    """
 
     def __init__(
         self,
@@ -25,6 +30,7 @@ class GSketch:
         partitions: int = 8,
         depth: int = 4,
         seed: int = 0,
+        backend: str = "python",
     ) -> None:
         if partitions < 1:
             raise ValueError("partitions must be at least 1")
@@ -35,9 +41,12 @@ class GSketch:
         self.seed = seed
         width_per_partition = max(1, total_width // partitions)
         self._sketches: List[CountMinSketch] = [
-            CountMinSketch(width_per_partition, depth=depth, seed=seed + index * 97)
+            CountMinSketch(
+                width_per_partition, depth=depth, seed=seed + index * 97, backend=backend
+            )
             for index in range(partitions)
         ]
+        self.backend = self._sketches[0].backend
         self._update_count = 0
 
     def _partition_of(self, source: Hashable) -> int:
@@ -48,15 +57,49 @@ class GSketch:
         self._update_count += 1
         self._sketches[self._partition_of(source)].update(source, destination, weight)
 
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Apply a batch of stream items, grouped by owning partition.
+
+        Each partition ingests its share through the CM sketch's batched
+        ``update_many`` (a vectorized scatter on the NumPy backend).  Returns
+        the number of items applied.
+        """
+        groups: Dict[int, List[Tuple[Hashable, Hashable, float]]] = {}
+        count = 0
+        for source, destination, weight in items:
+            count += 1
+            groups.setdefault(self._partition_of(source), []).append(
+                (source, destination, weight)
+            )
+        for index, triples in groups.items():
+            self._sketches[index].update_many(triples)
+        self._update_count += count
+        return count
+
     def ingest(self, edges) -> "GSketch":
         """Feed an iterable of stream edges."""
-        for edge in edges:
-            self.update(edge.source, edge.destination, edge.weight)
+        self.update_many((edge.source, edge.destination, edge.weight) for edge in edges)
         return self
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
         """Edge-weight estimate from the partition owning ``source``."""
         return self._sketches[self._partition_of(source)].edge_query(source, destination)
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """gSketch stores no topology."""
+        raise UnsupportedQueryError("GSketch stores no topology")
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """gSketch stores no topology."""
+        raise UnsupportedQueryError("GSketch stores no topology")
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """gSketch cannot aggregate per-node weights."""
+        raise UnsupportedQueryError("GSketch stores no topology")
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """gSketch cannot aggregate per-node weights."""
+        raise UnsupportedQueryError("GSketch stores no topology")
 
     @property
     def update_count(self) -> int:
@@ -66,3 +109,13 @@ class GSketch:
     def memory_bytes(self) -> int:
         """Total counter memory across partitions."""
         return sum(sketch.memory_bytes() for sketch in self._sketches)
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: edge-weight queries only."""
+        return Capabilities(
+            successor_queries=False,
+            precursor_queries=False,
+            node_out_weights=False,
+            node_in_weights=False,
+        )

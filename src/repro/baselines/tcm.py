@@ -15,13 +15,13 @@ that stores the hash value and the original ID pairs").
 from __future__ import annotations
 
 from itertools import chain
-from typing import Dict, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.backends import resolve_backend_name
 from repro.core.reverse_index import NodeIndex
 from repro.hashing.hash_functions import NodeHasher
 from repro.hashing.vectorized import load_numpy, node_hashes_array
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import Capabilities, SummaryShims
 
 
 class _TCMSketch:
@@ -85,7 +85,7 @@ class _TCMSketch:
         )
 
 
-class TCM:
+class TCM(SummaryShims):
     """Multi-sketch TCM summary.
 
     Parameters
@@ -113,6 +113,7 @@ class TCM:
             raise ValueError("depth must be at least 1")
         self.width = width
         self.depth = depth
+        self.seed = seed
         self.backend = resolve_backend_name(backend)
         numpy_counters = self.backend == "numpy"
         self._sketches = [
@@ -180,12 +181,19 @@ class TCM:
 
     # -- primitives ------------------------------------------------------------
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Minimum counter over the sketches; ``-1`` when every sketch says 0."""
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Minimum counter over the sketches; ``None`` when it is zero.
+
+        A non-zero minimum — including a negative one after deletions — is
+        reported as-is, so a real edge deleted below zero stays
+        distinguishable from an absent edge (only a counter deleted to
+        exactly zero is indistinguishable, which is inherent to counter
+        sketches).
+        """
         estimate = min(
             sketch.edge_weight(source, destination) for sketch in self._sketches
         )
-        return estimate if estimate > 0 else EDGE_NOT_FOUND
+        return estimate if estimate != 0.0 else None
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Intersection of the per-sketch successor candidates (original IDs)."""
@@ -223,6 +231,69 @@ class TCM:
     def memory_bytes(self) -> int:
         """Counter memory under a C layout (32-bit counters)."""
         return self.depth * self.width * self.width * 4
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: full query surface, counters serialize exactly."""
+        return Capabilities(serializable=True)
+
+    def to_dict(self, include_node_index: bool = True) -> Dict:
+        """Serialize the counter matrices (and reverse tables) to a document."""
+        document = {
+            "sketch": "tcm",
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "backend": self.backend,
+            "update_count": self._update_count,
+            "counters": [
+                [float(value) for value in sketch.counters]
+                for sketch in self._sketches
+            ],
+        }
+        if include_node_index:
+            for sketch in self._sketches:
+                for node in sketch.node_index.known_nodes():
+                    if not isinstance(node, (str, int, float, bool)):
+                        raise ValueError(
+                            "TCM serialization with the node index requires "
+                            f"scalar node IDs; {node!r} cannot be stored in "
+                            "JSON (serialize with include_node_index=False "
+                            "to drop topology queries instead)"
+                        )
+            document["node_index"] = [
+                [
+                    {"raw": node, "hash": sketch.node_index.hash_of(node)}
+                    for node in sketch.node_index.known_nodes()
+                ]
+                for sketch in self._sketches
+            ]
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict, backend: Optional[str] = None) -> "TCM":
+        """Rebuild a TCM from a :meth:`to_dict` document.
+
+        ``backend`` overrides the recorded counter backend, mirroring the GSS
+        snapshot contract.
+        """
+        summary = cls(
+            width=document["width"],
+            depth=document["depth"],
+            seed=document.get("seed", 0),
+            backend=backend if backend is not None else document.get("backend", "python"),
+        )
+        for sketch, counters in zip(summary._sketches, document["counters"]):
+            if summary.backend == "numpy":
+                np = load_numpy()
+                sketch.counters = np.asarray(counters, dtype=np.float64)
+            else:
+                sketch.counters = [float(value) for value in counters]
+        for sketch, entries in zip(summary._sketches, document.get("node_index", [])):
+            for entry in entries:
+                sketch.node_index.record(entry["raw"], entry["hash"])
+        summary._update_count = document.get("update_count", 0)
+        return summary
 
     @classmethod
     def with_memory_of(

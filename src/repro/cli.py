@@ -4,9 +4,16 @@ Each sub-command regenerates one table or figure of the paper and prints the
 result rows as an aligned text table.  ``--scale`` controls the synthetic
 dataset size, ``--paper-scale`` switches to the full configuration (all five
 datasets, full query sets), ``--quick`` runs the tiny smoke configuration,
-``--backend`` selects the sketch matrix backend, and ``--json PATH`` writes
-the result rows as a machine-readable document (the perf-trajectory format
-consumed by ``scripts/record_bench.py``).
+``--backend`` selects the sketch matrix backend, ``--sketch NAME`` (repeatable)
+adds equal-memory comparison rows for any registered sketch, and ``--json
+PATH`` writes the result rows as a machine-readable document (the
+perf-trajectory format consumed by ``scripts/record_bench.py``).
+
+``sketches`` is not an experiment: it lists the registry — every sketch the
+``repro.api`` factory can build, with its capabilities.
+
+Every sketch the runners construct goes through :func:`repro.api.build`; the
+CLI never instantiates a summary class directly.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro.api import list_sketches, sketch_info
 from repro.experiments import (
     ExperimentConfig,
     run_algorithm_agreement_experiment,
@@ -71,6 +79,9 @@ _EXTENSION_RUNNERS: Dict[str, Callable] = {
 
 _RUNNERS: Dict[str, Callable] = {**_PAPER_RUNNERS, **_EXTENSION_RUNNERS}
 
+#: Experiments that grow equal-memory comparison rows for ``--sketch``.
+_SKETCH_ROW_RUNNERS = frozenset({"fig8", "fig9", "fig10", "fig11", "fig12", "tab1"})
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse parser (exposed separately for testing)."""
@@ -81,10 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(list(_RUNNERS) + ["all", "extensions"]),
+        choices=sorted(list(_RUNNERS) + ["all", "extensions", "sketches"]),
         help=(
             "which table/figure to regenerate; 'all' runs every paper artifact, "
-            "'extensions' runs the ablation and deployment studies"
+            "'extensions' runs the ablation and deployment studies, 'sketches' "
+            "lists every registered summary structure and its capabilities"
         ),
     )
     parser.add_argument(
@@ -122,6 +134,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--sketch",
+        action="append",
+        # Only sketches constructible from a bare memory budget qualify —
+        # e.g. windowed-gss needs a window span no experiment can infer.
+        choices=[
+            name for name in list_sketches() if not sketch_info(name).required_params
+        ],
+        default=None,
+        metavar="NAME",
+        help=(
+            "add equal-memory comparison rows for this registered sketch to "
+            "the experiments that support it (repeatable; see 'sketches' for "
+            "the registry)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -155,6 +183,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config.extras["batch_size"] = args.batch_size
     if getattr(args, "backend", None):
         config.backend = args.backend
+    if getattr(args, "sketch", None):
+        config.extra_sketches = tuple(args.sketch)
     return config
 
 
@@ -199,10 +229,52 @@ def results_to_document(results: List, config: ExperimentConfig) -> Dict:
     }
 
 
+def sketch_registry_rows() -> List[Dict]:
+    """One row per registered sketch: name, description, capability summary."""
+    rows = []
+    for name in list_sketches():
+        info = sketch_info(name)
+        rows.append(
+            {
+                "sketch": name,
+                "description": info.description,
+                "capabilities": ",".join(info.capabilities.supported()),
+                "params": ",".join(info.param_names) or "-",
+            }
+        )
+    return rows
+
+
+def _write_json(document: Dict, target: str) -> None:
+    """Dump a result document to ``target`` (``-`` for stdout)."""
+    if target == "-":
+        json.dump(document, sys.stdout, indent=2)
+        print()
+    else:
+        path = Path(target)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"wrote JSON results to {path}")
+
+
+def _run_sketches_listing(args: argparse.Namespace) -> int:
+    """The ``sketches`` sub-command: print (and optionally dump) the registry."""
+    from repro.experiments.report import format_table
+
+    rows = sketch_registry_rows()
+    print("== sketches: the repro.api registry ==")
+    print(format_table(rows, ["sketch", "description", "capabilities", "params"]))
+    if args.json is not None:
+        _write_json({"format": "repro-gss-sketches", "sketches": rows}, args.json)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro-gss`` script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.experiment == "sketches":
+        return _run_sketches_listing(args)
     config = config_from_args(args)
 
     if args.experiment == "all":
@@ -211,22 +283,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = sorted(_EXTENSION_RUNNERS)
     else:
         names = [args.experiment]
+    if len(names) > 1:
+        # In multi-experiment runs a --sketch rides through the experiments
+        # that support it and is skipped elsewhere, as the help promises; a
+        # single-experiment run errors on an unsupported combination.
+        config.extras["sketch_rows_lenient"] = True
+    elif config.extra_sketches and names[0] not in _SKETCH_ROW_RUNNERS:
+        raise SystemExit(
+            f"error: experiment {names[0]!r} has no --sketch comparison rows; "
+            f"supported: {', '.join(sorted(_SKETCH_ROW_RUNNERS))}"
+        )
     results = []
     for name in names:
-        result = _RUNNERS[name](config)
+        try:
+            result = _RUNNERS[name](config)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from error
         results.append(result)
         print(result.to_text())
         print()
     if args.json is not None:
-        document = results_to_document(results, config)
-        if args.json == "-":
-            json.dump(document, sys.stdout, indent=2)
-            print()
-        else:
-            path = Path(args.json)
-            with path.open("w", encoding="utf-8") as handle:
-                json.dump(document, handle, indent=2)
-            print(f"wrote JSON results to {path}")
+        _write_json(results_to_document(results, config), args.json)
     return 0
 
 

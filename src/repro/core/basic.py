@@ -13,10 +13,10 @@ from typing import Hashable, List, Optional, Set, Tuple
 from repro.core.buffer import LeftoverBuffer
 from repro.core.reverse_index import NodeIndex
 from repro.hashing.hash_functions import NodeHasher
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import Capabilities, SummaryShims
 
 
-class GSSBasic:
+class GSSBasic(SummaryShims):
     """Basic Graph Stream Sketch: an ``m x m`` fingerprint matrix plus buffer."""
 
     def __init__(
@@ -74,12 +74,7 @@ class GSSBasic:
 
     # -- primitives ------------------------------------------------------------
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Weight of the edge, or ``EDGE_NOT_FOUND`` when absent (legacy)."""
-        weight = self.edge_query_opt(source, destination)
-        return EDGE_NOT_FOUND if weight is None else weight
-
-    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
         """Weight of the edge, or ``None`` when absent (deletion-safe)."""
         source_hash = self._hasher(source)
         destination_hash = self._hasher(destination)
@@ -156,3 +151,13 @@ class GSSBasic:
         room_bits = 2 * self.fingerprint_bits + 32
         matrix_bytes = self.matrix_width * self.matrix_width * room_bits // 8
         return matrix_bytes + self._buffer.memory_bytes()
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: the Section IV sketch has no batched path and
+        composes no node-weight queries."""
+        return Capabilities(
+            node_out_weights=False,
+            node_in_weights=False,
+            batched_updates=False,
+        )

@@ -25,10 +25,10 @@ from typing import Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import Capabilities, SummaryShims
 
 
-class GSSEnsemble:
+class GSSEnsemble(SummaryShims):
     """Several independent GSS sketches queried together.
 
     Parameters
@@ -90,22 +90,15 @@ class GSSEnsemble:
 
     # -- query primitives ------------------------------------------------------
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
         """Minimum of the members' estimates (the most accurate one).
 
-        Returns ``-1`` only when every member reports the edge as absent,
-        which preserves the no-false-negative property.  Legacy sentinel
-        interface; see :meth:`edge_query_opt` for the deletion-safe variant.
+        Returns ``None`` when any member is certain the edge never appeared,
+        which preserves the no-false-negative property.
         """
-        weight = self.edge_query_opt(source, destination)
-        return EDGE_NOT_FOUND if weight is None else weight
-
-    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
-        """Minimum of the members' estimates, or ``None`` when any member is
-        certain the edge never appeared."""
         estimates = []
         for member in self._members:
-            estimate = member.edge_query_opt(source, destination)
+            estimate = member.edge_query(source, destination)
             if estimate is None:
                 return None
             estimates.append(estimate)
@@ -148,3 +141,8 @@ class GSSEnsemble:
         if not self._members:
             return 0.0
         return sum(member.buffer_percentage for member in self._members) / len(self._members)
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: the full query surface of the member sketches."""
+        return Capabilities()

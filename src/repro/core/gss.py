@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+import warnings
+
 from repro.core.backends import (
     ROOM_DEST_FP,
     ROOM_DEST_INDEX,
@@ -46,7 +48,7 @@ from repro.hashing.linear_congruence import (
     recover_address,
     unique_candidates,
 )
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import Capabilities, SummaryShims
 
 #: Cap on the memoized candidate-pair sequences (one entry per distinct
 #: fingerprint pair seen).  Past the cap, sequences are recomputed instead of
@@ -62,7 +64,7 @@ _ROOM_DEST_INDEX = ROOM_DEST_INDEX
 _ROOM_WEIGHT = ROOM_WEIGHT
 
 
-class GSS:
+class GSS(SummaryShims):
     """Graph Stream Sketch with square hashing, sampling and multiple rooms.
 
     Parameters are supplied through :class:`~repro.core.config.GSSConfig`;
@@ -244,37 +246,24 @@ class GSS:
 
     # -- query primitives -------------------------------------------------------
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Return the aggregated weight of ``source -> destination`` or ``-1``.
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Return the aggregated weight of ``source -> destination`` or ``None``.
 
         Only over-estimation errors are possible (when the additions cumulate
         weights): if the true edge exists its weight is always reported.
 
-        .. note:: legacy sentinel interface.  The ``-1.0`` return value is the
-           paper's convention but collides with a real edge whose deletions
-           sum to exactly ``-1.0``; use :meth:`edge_query_opt` (``None`` when
-           absent) when the stream contains deletions.
-        """
-        weight = self.edge_query_opt(source, destination)
-        return EDGE_NOT_FOUND if weight is None else weight
-
-    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
-        """Edge query returning ``None`` when the edge is absent.
-
-        Unlike :meth:`edge_query`, the answer is unambiguous for streams with
-        deletions: a stored edge whose weights sum to ``-1.0`` is reported as
-        ``-1.0`` while a missing edge is reported as ``None``.
+        ``None`` (rather than the paper's ``-1.0``) reports an absent edge, so
+        the answer is unambiguous for streams with deletions: a stored edge
+        whose weights sum to ``-1.0`` is reported as ``-1.0`` while a missing
+        edge is reported as ``None``.  The paper's sentinel convention
+        survives as the deprecated
+        :meth:`~repro.queries.primitives.SummaryShims.edge_query_sentinel`.
         """
         source_hash = self._hasher(source)
         destination_hash = self._hasher(destination)
-        return self.edge_query_by_hash_opt(source_hash, destination_hash)
+        return self.edge_query_by_hash(source_hash, destination_hash)
 
-    def edge_query_by_hash(self, source_hash: int, destination_hash: int) -> float:
-        """Edge query addressed directly by sketch hashes (legacy sentinel)."""
-        weight = self.edge_query_by_hash_opt(source_hash, destination_hash)
-        return EDGE_NOT_FOUND if weight is None else weight
-
-    def edge_query_by_hash_opt(
+    def edge_query_by_hash(
         self, source_hash: int, destination_hash: int
     ) -> Optional[float]:
         """Edge query by sketch hashes; ``None`` when the edge is absent."""
@@ -282,6 +271,18 @@ class GSS:
         if weight is not None:
             return weight
         return self._buffer.get(source_hash, destination_hash)
+
+    def edge_query_by_hash_opt(
+        self, source_hash: int, destination_hash: int
+    ) -> Optional[float]:
+        """Deprecated alias: :meth:`edge_query_by_hash` now returns ``Optional``."""
+        warnings.warn(
+            "edge_query_by_hash_opt is deprecated; edge_query_by_hash itself "
+            "now returns None when the edge is absent",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.edge_query_by_hash(source_hash, destination_hash)
 
     def successor_hashes(self, node: Hashable) -> Set[int]:
         """Sketch hashes of the 1-hop successors of ``node``."""
@@ -394,7 +395,7 @@ class GSS:
         node_hash = self._hasher(node)
         total = 0.0
         for successor_hash in sorted(self._neighbor_hashes(node_hash, forward=True)):
-            weight = self.edge_query_by_hash_opt(node_hash, successor_hash)
+            weight = self.edge_query_by_hash(node_hash, successor_hash)
             if weight is not None:
                 total += weight
         return total
@@ -404,7 +405,7 @@ class GSS:
         node_hash = self._hasher(node)
         total = 0.0
         for precursor_hash in sorted(self._neighbor_hashes(node_hash, forward=False)):
-            weight = self.edge_query_by_hash_opt(precursor_hash, node_hash)
+            weight = self.edge_query_by_hash(precursor_hash, node_hash)
             if weight is not None:
                 total += weight
         return total
@@ -524,3 +525,31 @@ class GSS:
         """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
         self.update_many((edge.source, edge.destination, edge.weight) for edge in edges)
         return self
+
+    # -- protocol surface --------------------------------------------------------
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor of the full GSS (see :class:`Capabilities`)."""
+        return Capabilities(
+            serializable=True,
+            mergeable=True,
+            by_hash=True,
+        )
+
+    def to_dict(self, include_node_index: bool = True) -> Dict:
+        """Serialize into the snapshot document of :mod:`repro.core.serialization`."""
+        from repro.core.serialization import sketch_to_dict
+
+        return sketch_to_dict(self, include_node_index=include_node_index)
+
+    @classmethod
+    def from_dict(cls, document: Dict, backend: Optional[str] = None) -> "GSS":
+        """Rebuild a sketch from a :meth:`to_dict` document.
+
+        ``backend`` optionally re-targets the restored sketch onto a different
+        matrix backend (see :func:`repro.core.serialization.sketch_from_dict`).
+        """
+        from repro.core.serialization import sketch_from_dict
+
+        return sketch_from_dict(document, backend=backend)

@@ -26,9 +26,10 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
 from repro.hashing.hash_functions import hash_key
+from repro.queries.primitives import Capabilities, SummaryShims
 
 
-class PartitionedGSS:
+class PartitionedGSS(SummaryShims):
     """GSS sharded over ``partitions`` source-partitioned shards.
 
     Parameters
@@ -131,13 +132,12 @@ class PartitionedGSS:
 
     # -- query primitives ------------------------------------------------------
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Edge query served by the single shard owning ``source``."""
-        return self._shards[self.shard_of(source)].edge_query(source, destination)
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Edge query served by the single shard owning ``source``.
 
-    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
-        """``None``-based edge query served by the owning shard."""
-        return self._shards[self.shard_of(source)].edge_query_opt(source, destination)
+        ``None`` reports an absent edge, matching the shard's own convention.
+        """
+        return self._shards[self.shard_of(source)].edge_query(source, destination)
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Successor query served by the single shard owning ``node``."""
@@ -235,3 +235,8 @@ class PartitionedGSS:
                 for node in shard.node_index.known_nodes():
                     target.node_index.record(node, shard.node_index.hash_of(node))
         return target
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: full query surface, shards mergeable into one."""
+        return Capabilities(mergeable=True)

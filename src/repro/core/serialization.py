@@ -34,6 +34,9 @@ def sketch_to_dict(sketch: GSS, include_node_index: bool = True) -> Dict:
     ]
     document = {
         "format_version": FORMAT_VERSION,
+        # Which registered sketch wrote the snapshot, so repro.api.from_dict
+        # can dispatch without the caller knowing the concrete class.
+        "sketch": "gss",
         "hash_version": HASH_VERSION,
         "config": {
             "matrix_width": config.matrix_width,

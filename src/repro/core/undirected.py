@@ -14,6 +14,7 @@ from typing import Hashable, Iterable, Optional, Set, Tuple
 
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
+from repro.queries.primitives import Capabilities, SummaryShims
 
 
 def canonical_orientation(a: Hashable, b: Hashable) -> Tuple[Hashable, Hashable]:
@@ -21,7 +22,7 @@ def canonical_orientation(a: Hashable, b: Hashable) -> Tuple[Hashable, Hashable]
     return (a, b) if repr(a) <= repr(b) else (b, a)
 
 
-class UndirectedGSS:
+class UndirectedGSS(SummaryShims):
     """GSS specialised for undirected graph streams."""
 
     def __init__(self, config: GSSConfig) -> None:
@@ -54,15 +55,10 @@ class UndirectedGSS:
         self.update_many((edge.source, edge.destination, edge.weight) for edge in edges)
         return self
 
-    def edge_query(self, first: Hashable, second: Hashable) -> float:
-        """Aggregated weight of the undirected edge, or ``EDGE_NOT_FOUND``."""
+    def edge_query(self, first: Hashable, second: Hashable) -> Optional[float]:
+        """Aggregated weight of the undirected edge, or ``None`` when absent."""
         source, destination = canonical_orientation(first, second)
         return self._sketch.edge_query(source, destination)
-
-    def edge_query_opt(self, first: Hashable, second: Hashable) -> Optional[float]:
-        """``None``-based weight of the undirected edge (deletion-safe)."""
-        source, destination = canonical_orientation(first, second)
-        return self._sketch.edge_query_opt(source, destination)
 
     def neighbor_query(self, node: Hashable) -> Set[Hashable]:
         """All neighbors of ``node`` (union of the two directed primitives)."""
@@ -83,11 +79,11 @@ class UndirectedGSS:
         total = 0.0
         node_hash = self._sketch.node_hash(node)
         for neighbor_hash in sorted(self._sketch._neighbor_hashes(node_hash, forward=True)):
-            weight = self._sketch.edge_query_by_hash_opt(node_hash, neighbor_hash)
+            weight = self._sketch.edge_query_by_hash(node_hash, neighbor_hash)
             if weight is not None:
                 total += weight
         for neighbor_hash in sorted(self._sketch._neighbor_hashes(node_hash, forward=False)):
-            weight = self._sketch.edge_query_by_hash_opt(neighbor_hash, node_hash)
+            weight = self._sketch.edge_query_by_hash(neighbor_hash, node_hash)
             if weight is not None:
                 total += weight
         return total
@@ -100,3 +96,12 @@ class UndirectedGSS:
     def memory_bytes(self) -> int:
         """Memory footprint under the paper's C layout."""
         return self._sketch.memory_bytes()
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: neighbor queries, no per-direction node weights
+        (use :meth:`degree_weight` for the undirected aggregate)."""
+        return Capabilities(
+            node_out_weights=False,
+            node_in_weights=False,
+        )

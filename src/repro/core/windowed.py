@@ -29,10 +29,10 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import Capabilities, SummaryShims
 
 
-class WindowedGSS:
+class WindowedGSS(SummaryShims):
     """Sliding-window graph-stream summary made of per-slice GSS sketches.
 
     Parameters
@@ -56,9 +56,9 @@ class WindowedGSS:
     >>> window.update("a", "c", weight=2.0, timestamp=58.0)
     >>> window.edge_query("a", "b")
     1.0
-    >>> window.update("x", "y", timestamp=500.0)   # far in the future
-    >>> window.edge_query("a", "b")                # expired with its slice
-    -1.0
+    >>> window.update("x", "y", timestamp=500.0)       # far in the future
+    >>> window.edge_query("a", "b") is None            # expired with its slice
+    True
     """
 
     def __init__(self, config: GSSConfig, window_span: float, slices: int = 4) -> None:
@@ -189,21 +189,12 @@ class WindowedGSS:
 
     # -- queries ---------------------------------------------------------------
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Aggregated weight of the edge inside the window, or ``-1``.
-
-        Legacy sentinel interface; see :meth:`edge_query_opt` for the
-        deletion-safe variant.
-        """
-        weight = self.edge_query_opt(source, destination)
-        return EDGE_NOT_FOUND if weight is None else weight
-
-    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
         """Aggregated in-window weight of the edge, or ``None`` when absent."""
         total = 0.0
         found = False
         for sketch in self._active_sketches():
-            weight = sketch.edge_query_opt(source, destination)
+            weight = sketch.edge_query(source, destination)
             if weight is not None:
                 total += weight
                 found = True
@@ -272,3 +263,8 @@ class WindowedGSS:
         buffered = sum(sketch.buffer_edge_count for sketch in self._active_sketches())
         total = matrix + buffered
         return buffered / total if total else 0.0
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        """Feature descriptor: full query surface plus window expiry."""
+        return Capabilities(windowed=True)

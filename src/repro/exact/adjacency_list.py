@@ -8,12 +8,12 @@ dictionaries used here.  Updates are O(1) amortized; memory is O(|E| + |V|).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import SummaryShims
 
 
-class AdjacencyListGraph:
+class AdjacencyListGraph(SummaryShims):
     """Exact weighted directed multigraph aggregated by edge.
 
     Edge weights are the running SUM of update weights, exactly like the
@@ -46,12 +46,9 @@ class AdjacencyListGraph:
 
     # -- primitives ----------------------------------------------------------
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Exact edge weight, or ``EDGE_NOT_FOUND`` when absent."""
-        weight = self._out.get(source, {}).get(destination)
-        if weight is None:
-            return EDGE_NOT_FOUND
-        return weight
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Exact edge weight, or ``None`` when absent."""
+        return self._out.get(source, {}).get(destination)
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Exact 1-hop successor set (possibly empty)."""

@@ -8,12 +8,12 @@ small graphs can still be materialized and compared against the list store.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set
+from typing import Dict, Hashable, List, Optional, Set
 
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import SummaryShims
 
 
-class AdjacencyMatrixGraph:
+class AdjacencyMatrixGraph(SummaryShims):
     """Exact matrix-style store: row = source, column = destination."""
 
     def __init__(self) -> None:
@@ -40,14 +40,13 @@ class AdjacencyMatrixGraph:
         else:
             row[column] = new_weight
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Exact edge weight, or ``EDGE_NOT_FOUND`` when absent."""
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Exact edge weight, or ``None`` when absent."""
         source_index = self._index_of.get(source)
         destination_index = self._index_of.get(destination)
         if source_index is None or destination_index is None:
-            return EDGE_NOT_FOUND
-        weight = self._rows.get(source_index, {}).get(destination_index)
-        return EDGE_NOT_FOUND if weight is None else weight
+            return None
+        return self._rows.get(source_index, {}).get(destination_index)
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Exact 1-hop successors of ``node``."""

@@ -14,17 +14,12 @@ from typing import Sequence
 from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
 from repro.metrics.accuracy import average_precision, average_relative_error
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import edge_weight_or_zero
 
 
 def _score(sketch, stream, truth, successor_truth, nodes, edges):
     """Edge ARE, successor precision and buffer share of one sketch."""
-    pairs = []
-    for key in edges:
-        estimate = sketch.edge_query(*key)
-        if estimate == EDGE_NOT_FOUND:
-            estimate = 0.0
-        pairs.append((estimate, truth[key]))
+    pairs = [(edge_weight_or_zero(sketch, *key), truth[key]) for key in edges]
     precision_pairs = [
         (successor_truth.get(node, set()), sketch.successor_query(node)) for node in nodes
     ]
@@ -53,8 +48,7 @@ def run_fingerprint_ablation(
         edges = config.sample_items(list(truth))
         nodes = config.sample_items(stream.nodes())
         for bits in fingerprint_bits:
-            sketch = config.build_gss(width, bits)
-            sketch.ingest(stream)
+            sketch = config.feed(config.build_gss(width, bits), stream)
             result.add(
                 dataset=name,
                 fingerprint_bits=bits,
@@ -91,8 +85,7 @@ def run_sequence_length_ablation(
                 rooms=config.rooms,
                 seed=config.seed,
             )
-            sketch = sweep_config.build_gss(width, bits)
-            sketch.ingest(stream)
+            sketch = sweep_config.feed(sweep_config.build_gss(width, bits), stream)
             result.add(
                 dataset=name,
                 sequence_length=length,
@@ -129,8 +122,7 @@ def run_candidate_ablation(
                 rooms=config.rooms,
                 seed=config.seed,
             )
-            sketch = sweep_config.build_gss(width, bits)
-            sketch.ingest(stream)
+            sketch = sweep_config.feed(sweep_config.build_gss(width, bits), stream)
             result.add(
                 dataset=name,
                 candidate_buckets=candidates,
@@ -160,8 +152,7 @@ def run_rooms_ablation(
         nodes = config.sample_items(stream.nodes())
         for rooms in room_counts:
             width = max(4, int((base_capacity / rooms) ** 0.5))
-            sketch = config.build_gss(width, bits, rooms=rooms)
-            sketch.ingest(stream)
+            sketch = config.feed(config.build_gss(width, bits, rooms=rooms), stream)
             result.add(
                 dataset=name,
                 rooms=rooms,

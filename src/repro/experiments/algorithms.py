@@ -21,7 +21,6 @@ from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
 from repro.queries.degree import top_k_by_out_degree
 from repro.queries.pagerank import pagerank, ranking_overlap
-from repro.queries.primitives import consume_stream
 
 
 def _top_set(pairs):
@@ -44,15 +43,15 @@ def run_algorithm_agreement_experiment(config: ExperimentConfig = None) -> Exper
         statistics = stream.statistics()
         nodes = config.sample_items(stream.nodes(), limit=node_cap)
 
-        exact = consume_stream(AdjacencyListGraph(), stream)
+        exact = config.feed(AdjacencyListGraph(), stream)
         exact_ranks = pagerank(exact, nodes, iterations=iterations)
         exact_degrees = _top_set(top_k_by_out_degree(exact, nodes, top_k))
 
         width = config.recommended_width(statistics)
-        gss = config.build_gss(width, fingerprint_bits)
-        consume_stream(gss, stream)
-        tcm = config.build_tcm(gss, config.tcm_topology_memory_ratio)
-        consume_stream(tcm, stream)
+        gss = config.feed(config.build_gss(width, fingerprint_bits), stream)
+        tcm = config.feed(
+            config.build_tcm(gss, config.tcm_topology_memory_ratio), stream
+        )
 
         for label, store in ((f"GSS(fsize={fingerprint_bits})", gss),
                              (f"TCM({int(config.tcm_topology_memory_ratio)}x memory)", tcm)):

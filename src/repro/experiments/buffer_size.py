@@ -38,13 +38,15 @@ def run_buffer_experiment(config: ExperimentConfig = None) -> ExperimentResult:
             for label, rooms, square in _CONFIGURATIONS:
                 # Hold memory constant: one-room variants get a wider matrix.
                 effective_width = width if rooms == config.rooms else int(width * (config.rooms / rooms) ** 0.5)
-                sketch = config.build_gss(
-                    effective_width,
-                    fingerprint_bits,
-                    rooms=rooms,
-                    square_hashing=square,
+                sketch = config.feed(
+                    config.build_gss(
+                        effective_width,
+                        fingerprint_bits,
+                        rooms=rooms,
+                        square_hashing=square,
+                    ),
+                    stream,
                 )
-                sketch.ingest(stream)
                 stored = sketch.matrix_edge_count + sketch.buffer_edge_count
                 result.add(
                     dataset=name,

@@ -5,6 +5,13 @@ in pure Python while keeping the structure of the paper's Section VII: the
 same datasets (as synthetic analogs), the same width sweeps (expressed as
 multiples of the recommended width ``sqrt(|E| / rooms)``), the same two
 fingerprint sizes and the same memory handicap granted to TCM.
+
+Every sketch the runners measure is constructed through the
+:mod:`repro.api` factory (:meth:`ExperimentConfig.build_gss`,
+:meth:`ExperimentConfig.build_tcm`, :meth:`ExperimentConfig.build_sketch`),
+so the byte→shape arithmetic of the equal-memory comparisons lives in the
+registry instead of being re-derived per runner, and streams are fed through
+:class:`repro.api.StreamSession` (:meth:`ExperimentConfig.feed`).
 """
 
 from __future__ import annotations
@@ -12,9 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
-from repro.core.config import GSSConfig
-from repro.core.gss import GSS
-from repro.baselines.tcm import TCM
+from repro.api import SketchSpec, StreamSession, build, sketch_info
 from repro.streaming.stream import GraphStream, StreamStatistics
 
 
@@ -37,7 +42,8 @@ class ExperimentConfig:
     grows them, ``width_factors`` is the sweep over matrix widths relative to
     the recommended width, and ``query_sample`` caps the number of node/edge
     queries issued per configuration (``None`` = the full query set, exactly
-    as in the paper).
+    as in the paper).  ``extra_sketches`` adds comparison rows for other
+    registered sketches at the reference GSS's memory (CLI ``--sketch``).
     """
 
     datasets: Sequence[str] = PAPER_DATASETS[:3]
@@ -54,6 +60,7 @@ class ExperimentConfig:
     reachability_pairs: int = 50
     seed: int = 20190419
     backend: str = "python"
+    extra_sketches: Sequence[str] = ()
     extras: dict = field(default_factory=dict)
 
     @classmethod
@@ -97,6 +104,30 @@ class ExperimentConfig:
         widths = sorted({max(4, int(base * factor)) for factor in self.width_factors})
         return widths
 
+    def gss_spec(
+        self,
+        width: int,
+        fingerprint_bits: int,
+        rooms: int = None,
+        square_hashing: bool = True,
+        sampling: bool = True,
+    ) -> SketchSpec:
+        """The :class:`SketchSpec` of a GSS with this experiment's parameters."""
+        return SketchSpec(
+            "gss",
+            backend=self.backend,
+            seed=self.seed,
+            params={
+                "matrix_width": width,
+                "fingerprint_bits": fingerprint_bits,
+                "rooms": self.rooms if rooms is None else rooms,
+                "sequence_length": self.sequence_length,
+                "candidate_buckets": self.candidate_buckets,
+                "square_hashing": square_hashing,
+                "sampling": sampling,
+            },
+        )
+
     def build_gss(
         self,
         width: int,
@@ -104,38 +135,93 @@ class ExperimentConfig:
         rooms: int = None,
         square_hashing: bool = True,
         sampling: bool = True,
-    ) -> GSS:
+    ):
         """Build a GSS with this experiment's square-hashing parameters.
 
         The matrix backend follows ``self.backend`` (CLI ``--backend``), so
         every experiment runner compares structures on the same backend.
         """
-        config = GSSConfig(
-            matrix_width=width,
-            fingerprint_bits=fingerprint_bits,
-            rooms=self.rooms if rooms is None else rooms,
-            sequence_length=self.sequence_length,
-            candidate_buckets=self.candidate_buckets,
-            square_hashing=square_hashing,
-            sampling=sampling,
-            seed=self.seed,
-            backend=self.backend,
+        return build(
+            self.gss_spec(
+                width,
+                fingerprint_bits,
+                rooms=rooms,
+                square_hashing=square_hashing,
+                sampling=sampling,
+            )
         )
-        return GSS(config)
 
-    def build_tcm(self, reference: GSS, memory_ratio: float) -> TCM:
+    def build_tcm(self, reference, memory_ratio: float):
         """Build a TCM granted ``memory_ratio`` times the reference GSS memory.
 
-        The counter backend matches ``self.backend`` so Table I comparisons
-        stay apples-to-apples.
+        The "same memory handicap" rule of Section VII is expressed as a
+        factory budget: the registry's TCM builder inverts the counter
+        accounting, and the counter backend matches ``self.backend`` so
+        Table I comparisons stay apples-to-apples.
         """
-        return TCM.with_memory_of(
-            reference.config.matrix_memory_bytes(),
-            memory_ratio=memory_ratio,
-            depth=self.tcm_depth,
-            seed=self.seed + 1,
-            backend=self.backend,
+        return build(
+            SketchSpec(
+                "tcm",
+                memory_bytes=int(
+                    reference.config.matrix_memory_bytes() * memory_ratio
+                ),
+                backend=self.backend,
+                seed=self.seed + 1,
+                params={"depth": self.tcm_depth},
+            )
         )
+
+    def build_sketch(self, name: str, memory_bytes: int = None, expected_edges: int = None, **params):
+        """Build any registered sketch through the factory.
+
+        ``memory_bytes`` grants an explicit budget — the ``--sketch``
+        comparison rows use the reference GSS's memory, the paper's
+        comparison invariant; ``expected_edges`` sizes for a stream; explicit
+        structure parameters go through ``params``.
+        """
+        return build(
+            SketchSpec(
+                name,
+                memory_bytes=memory_bytes,
+                expected_edges=expected_edges,
+                backend=self.backend,
+                seed=self.seed,
+                params=params,
+            )
+        )
+
+    def extra_sketches_with(self, capability: str) -> List[str]:
+        """The ``extra_sketches`` entries supporting a capability flag.
+
+        Raises ``ValueError`` when a requested sketch lacks the capability,
+        so a CLI user asking for e.g. successor-precision rows of a CM sketch
+        gets a clear error instead of a silent omission.  In lenient mode
+        (``extras["sketch_rows_lenient"]``, set by multi-experiment CLI runs
+        like ``all``/``extensions``) incompatible sketches are skipped
+        instead, so one sketch can ride through every experiment that
+        supports it.
+        """
+        names = []
+        for name in self.extra_sketches:
+            capabilities = sketch_info(name).capabilities
+            if not getattr(capabilities, capability):
+                if self.extras.get("sketch_rows_lenient"):
+                    continue
+                raise ValueError(
+                    f"sketch {name!r} does not support {capability}; it cannot "
+                    "appear in this experiment"
+                )
+            names.append(name)
+        return names
+
+    def feed(self, store, stream):
+        """Feed a stream through the :class:`StreamSession` facade; returns
+        ``store`` for chaining (the session handles batching and windowed
+        timestamp routing uniformly for every structure)."""
+        StreamSession(
+            store, batch_size=self.extras.get("batch_size", 1024)
+        ).feed(stream)
+        return store
 
     def sample_items(self, items: Sequence, limit: int = None) -> List:
         """Deterministically subsample a query set to ``query_sample`` items."""

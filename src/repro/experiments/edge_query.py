@@ -11,16 +11,14 @@ from __future__ import annotations
 from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
 from repro.metrics.accuracy import average_relative_error
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import edge_weight_or_zero
 
 
 def _edge_query_are(store, query_edges, truth) -> float:
-    pairs = []
-    for key in query_edges:
-        estimate = store.edge_query(key[0], key[1])
-        if estimate == EDGE_NOT_FOUND:
-            estimate = 0.0
-        pairs.append((estimate, truth[key]))
+    pairs = [
+        (edge_weight_or_zero(store, key[0], key[1]), truth[key])
+        for key in query_edges
+    ]
     return average_relative_error(pairs)
 
 
@@ -39,8 +37,7 @@ def run_edge_query_experiment(config: ExperimentConfig = None) -> ExperimentResu
         for width in config.widths_for(statistics):
             reference = None
             for bits in config.fingerprint_bits:
-                sketch = config.build_gss(width, bits)
-                sketch.ingest(stream)
+                sketch = config.feed(config.build_gss(width, bits), stream)
                 if bits == max(config.fingerprint_bits):
                     reference = sketch
                 result.add(
@@ -50,8 +47,9 @@ def run_edge_query_experiment(config: ExperimentConfig = None) -> ExperimentResu
                     are=_edge_query_are(sketch, query_edges, truth),
                     buffer_pct=sketch.buffer_percentage,
                 )
-            tcm = config.build_tcm(reference, config.tcm_edge_memory_ratio)
-            tcm.ingest(stream)
+            tcm = config.feed(
+                config.build_tcm(reference, config.tcm_edge_memory_ratio), stream
+            )
             result.add(
                 dataset=name,
                 width=width,
@@ -59,4 +57,18 @@ def run_edge_query_experiment(config: ExperimentConfig = None) -> ExperimentResu
                 are=_edge_query_are(tcm, query_edges, truth),
                 buffer_pct=0.0,
             )
+            for extra_name in config.extra_sketches_with("edge_queries"):
+                extra = config.feed(
+                    config.build_sketch(
+                        extra_name, reference.config.matrix_memory_bytes()
+                    ),
+                    stream,
+                )
+                result.add(
+                    dataset=name,
+                    width=width,
+                    structure=f"{extra_name}(equal memory)",
+                    are=_edge_query_are(extra, query_edges, truth),
+                    buffer_pct=0.0,
+                )
     return result

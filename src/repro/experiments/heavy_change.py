@@ -20,7 +20,6 @@ from repro.exact.adjacency_list import AdjacencyListGraph
 from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
 from repro.queries.heavy_changers import top_k_changers
-from repro.queries.primitives import consume_stream
 
 
 def _inject_burst(epoch_edges, burst_keys, repetitions: int, weight: float):
@@ -69,18 +68,22 @@ def run_heavy_changer_experiment(config: ExperimentConfig = None) -> ExperimentR
             if key not in candidates:
                 candidates.append(key)
 
-        exact_before = consume_stream(AdjacencyListGraph(), first_epoch)
-        exact_after = consume_stream(AdjacencyListGraph(), second_epoch)
+        exact_before = config.feed(AdjacencyListGraph(), first_epoch)
+        exact_after = config.feed(AdjacencyListGraph(), second_epoch)
         exact_top = top_k_changers(exact_before, exact_after, candidates, top_k)
         exact_top_keys = {edge for edge, _ in exact_top}
 
         structures = {
             "Exact adjacency lists": (exact_before, exact_after),
         }
-        gss_before = config.build_gss(config.recommended_width(statistics), fingerprint_bits)
-        gss_after = config.build_gss(config.recommended_width(statistics), fingerprint_bits)
-        consume_stream(gss_before, first_epoch)
-        consume_stream(gss_after, second_epoch)
+        gss_before = config.feed(
+            config.build_gss(config.recommended_width(statistics), fingerprint_bits),
+            first_epoch,
+        )
+        gss_after = config.feed(
+            config.build_gss(config.recommended_width(statistics), fingerprint_bits),
+            second_epoch,
+        )
         structures[f"GSS(fsize={fingerprint_bits})"] = (gss_before, gss_after)
 
         for label, (before, after) in structures.items():

@@ -56,8 +56,10 @@ def run_memory_experiment(config: ExperimentConfig = None) -> ExperimentResult:
     # Measured rows on the generated analogs (buffer included).
     for name, stream in load_streams(config):
         statistics = stream.statistics()
-        sketch = config.build_gss(config.recommended_width(statistics), fingerprint_bits)
-        sketch.ingest(stream)
+        sketch = config.feed(
+            config.build_gss(config.recommended_width(statistics), fingerprint_bits),
+            stream,
+        )
         comparison = compare_structures(
             max(1, statistics.distinct_edges),
             max(1, statistics.node_count),

@@ -5,16 +5,18 @@ from __future__ import annotations
 from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
 from repro.metrics.accuracy import average_relative_error
-from repro.queries.node_query import node_out_weight
 
 
 def _node_query_are(store, nodes, truth) -> float:
+    # The protocol method the node_out_weights capability gate vouches for —
+    # not the compound successor+edge fallback, which a registered sketch
+    # with a native node query need not support.
     pairs = []
     for node in nodes:
         true_weight = truth.get(node, 0.0)
         if true_weight == 0.0:
             continue
-        pairs.append((node_out_weight(store, node), true_weight))
+        pairs.append((store.node_out_weight(node), true_weight))
     return average_relative_error(pairs)
 
 
@@ -38,8 +40,7 @@ def run_node_query_experiment(config: ExperimentConfig = None) -> ExperimentResu
         for width in config.widths_for(statistics):
             reference = None
             for bits in config.fingerprint_bits:
-                sketch = config.build_gss(width, bits)
-                sketch.ingest(stream)
+                sketch = config.feed(config.build_gss(width, bits), stream)
                 if bits == max(config.fingerprint_bits):
                     reference = sketch
                 result.add(
@@ -48,12 +49,26 @@ def run_node_query_experiment(config: ExperimentConfig = None) -> ExperimentResu
                     structure=f"GSS(fsize={bits})",
                     are=_node_query_are(sketch, nodes, truth),
                 )
-            tcm = config.build_tcm(reference, config.tcm_topology_memory_ratio)
-            tcm.ingest(stream)
+            tcm = config.feed(
+                config.build_tcm(reference, config.tcm_topology_memory_ratio), stream
+            )
             result.add(
                 dataset=name,
                 width=width,
                 structure=f"TCM({int(config.tcm_topology_memory_ratio)}x memory)",
                 are=_node_query_are(tcm, nodes, truth),
             )
+            for extra_name in config.extra_sketches_with("node_out_weights"):
+                extra = config.feed(
+                    config.build_sketch(
+                        extra_name, reference.config.matrix_memory_bytes()
+                    ),
+                    stream,
+                )
+                result.add(
+                    dataset=name,
+                    width=width,
+                    structure=f"{extra_name}(equal memory)",
+                    are=_node_query_are(extra, nodes, truth),
+                )
     return result

@@ -12,11 +12,10 @@ capacity and measures what sharding costs:
 
 from __future__ import annotations
 
-from repro.core.partitioned import PartitionedGSS
 from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
 from repro.metrics.accuracy import average_precision, average_relative_error
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import edge_weight_or_zero
 
 
 def run_partition_experiment(config: ExperimentConfig = None) -> ExperimentResult:
@@ -44,22 +43,21 @@ def run_partition_experiment(config: ExperimentConfig = None) -> ExperimentResul
         edge_sample = config.sample_items(list(truth_weights.items()))
         node_sample = config.sample_items(list(truth_successors.items()))
         for partitions in partition_counts:
-            sharded = PartitionedGSS.for_total_capacity(
-                max(1, statistics.distinct_edges),
+            sharded = config.build_sketch(
+                "partitioned-gss",
+                memory_bytes=None,
+                expected_edges=max(1, statistics.distinct_edges),
                 partitions=partitions,
                 fingerprint_bits=fingerprint_bits,
                 sequence_length=config.sequence_length,
                 candidate_buckets=config.candidate_buckets,
-                seed=config.seed,
             )
-            sharded.ingest(stream)
+            config.feed(sharded, stream)
 
-            edge_pairs = []
-            for key, true_weight in edge_sample:
-                estimate = sharded.edge_query(*key)
-                if estimate == EDGE_NOT_FOUND:
-                    estimate = 0.0
-                edge_pairs.append((estimate, true_weight))
+            edge_pairs = [
+                (edge_weight_or_zero(sharded, *key), true_weight)
+                for key, true_weight in edge_sample
+            ]
             successor_pairs = [
                 (true_set, sharded.successor_query(node)) for node, true_set in node_sample
             ]

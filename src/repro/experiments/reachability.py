@@ -76,8 +76,7 @@ def run_reachability_experiment(config: ExperimentConfig = None) -> ExperimentRe
         for width in config.widths_for(statistics):
             reference = None
             for bits in config.fingerprint_bits:
-                sketch = config.build_gss(width, bits)
-                sketch.ingest(stream)
+                sketch = config.feed(config.build_gss(width, bits), stream)
                 if bits == max(config.fingerprint_bits):
                     reference = sketch
                 result.add(
@@ -86,12 +85,26 @@ def run_reachability_experiment(config: ExperimentConfig = None) -> ExperimentRe
                     structure=f"GSS(fsize={bits})",
                     true_negative_recall=_recall_of(sketch, nodes, pairs),
                 )
-            tcm = config.build_tcm(reference, config.tcm_topology_memory_ratio)
-            tcm.ingest(stream)
+            tcm = config.feed(
+                config.build_tcm(reference, config.tcm_topology_memory_ratio), stream
+            )
             result.add(
                 dataset=name,
                 width=width,
                 structure=f"TCM({int(config.tcm_topology_memory_ratio)}x memory)",
                 true_negative_recall=_recall_of(tcm, nodes, pairs),
             )
+            for extra_name in config.extra_sketches_with("successor_queries"):
+                extra = config.feed(
+                    config.build_sketch(
+                        extra_name, reference.config.matrix_memory_bytes()
+                    ),
+                    stream,
+                )
+                result.add(
+                    dataset=name,
+                    width=width,
+                    structure=f"{extra_name}(equal memory)",
+                    true_negative_recall=_recall_of(extra, nodes, pairs),
+                )
     return result

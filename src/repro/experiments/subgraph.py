@@ -70,8 +70,7 @@ def _gss_window_graph(config, window: GraphStream, labels) -> LabeledDiGraph:
     # A tenth of the exact store's memory, as in the paper's SJ-tree setup:
     # one room per ~10 distinct edges.
     width = max(4, int((statistics.distinct_edges / (10 * config.rooms)) ** 0.5) + 1)
-    sketch = config.build_gss(width, max(config.fingerprint_bits))
-    sketch.ingest(window)
+    sketch = config.feed(config.build_gss(width, max(config.fingerprint_bits)), window)
     return LabeledDiGraph.from_store(sketch, window.nodes(), labels)
 
 

@@ -41,8 +41,7 @@ def _run_direction(config: ExperimentConfig, forward: bool) -> ExperimentResult:
         for width in config.widths_for(statistics):
             reference = None
             for bits in config.fingerprint_bits:
-                sketch = config.build_gss(width, bits)
-                sketch.ingest(stream)
+                sketch = config.feed(config.build_gss(width, bits), stream)
                 if bits == max(config.fingerprint_bits):
                     reference = sketch
                 query = sketch.successor_query if forward else sketch.precursor_query
@@ -52,8 +51,9 @@ def _run_direction(config: ExperimentConfig, forward: bool) -> ExperimentResult:
                     structure=f"GSS(fsize={bits})",
                     precision=_precision_of(query, truth, nodes),
                 )
-            tcm = config.build_tcm(reference, config.tcm_topology_memory_ratio)
-            tcm.ingest(stream)
+            tcm = config.feed(
+                config.build_tcm(reference, config.tcm_topology_memory_ratio), stream
+            )
             tcm_query = tcm.successor_query if forward else tcm.precursor_query
             result.add(
                 dataset=name,
@@ -61,6 +61,21 @@ def _run_direction(config: ExperimentConfig, forward: bool) -> ExperimentResult:
                 structure=f"TCM({int(config.tcm_topology_memory_ratio)}x memory)",
                 precision=_precision_of(tcm_query, truth, nodes),
             )
+            capability = "successor_queries" if forward else "precursor_queries"
+            for extra_name in config.extra_sketches_with(capability):
+                extra = config.feed(
+                    config.build_sketch(
+                        extra_name, reference.config.matrix_memory_bytes()
+                    ),
+                    stream,
+                )
+                extra_query = extra.successor_query if forward else extra.precursor_query
+                result.add(
+                    dataset=name,
+                    width=width,
+                    structure=f"{extra_name}(equal memory)",
+                    precision=_precision_of(extra_query, truth, nodes),
+                )
     return result
 
 

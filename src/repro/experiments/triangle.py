@@ -10,7 +10,6 @@ sweep.
 
 from __future__ import annotations
 
-from repro.baselines.triest import TriestImproved
 from repro.exact.adjacency_list import AdjacencyListGraph
 from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
@@ -53,14 +52,15 @@ def run_triangle_experiment(config: ExperimentConfig = None) -> ExperimentResult
         base_width = config.recommended_width(statistics)
         for factor in memory_factors:
             width = max(4, int(base_width * factor))
-            sketch = config.build_gss(width, fingerprint_bits)
-            sketch.ingest(unique)
+            sketch = config.feed(config.build_gss(width, fingerprint_bits), unique)
             memory = sketch.memory_bytes()
             gss_estimate = count_triangles(sketch, nodes)
 
-            reservoir_size = max(6, memory // 16)
-            triest = TriestImproved(reservoir_size=reservoir_size, seed=config.seed)
-            triest.ingest(unique)
+            # TRIEST rides through the registry at the same memory budget
+            # (one reservoir slot per 16 bytes), the paper's Figure 14 setup.
+            triest = config.feed(
+                config.build_sketch("triest-impr", memory_bytes=memory), unique
+            )
             triest_estimate = triest.triangle_estimate()
 
             for label, estimate in (("GSS", gss_estimate), ("TRIEST", triest_estimate)):

@@ -77,6 +77,18 @@ def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentRe
                 AdjacencyListGraph, edges, label="Adjacency Lists", repeats=repeats
             ),
         }
+        for extra_name in config.extra_sketches:
+            # --sketch rows: any registered structure, granted the same
+            # memory as the reference GSS (the comparison invariant).
+            def make_extra(name=extra_name):
+                return config.build_sketch(
+                    name, reference.config.matrix_memory_bytes()
+                )
+
+            label = f"{extra_name}(equal memory)"
+            measurements[label] = measure_update_throughput(
+                make_extra, edges, label=label, repeats=repeats
+            )
         tcm_rate = measurements["TCM"].items_per_second
         for label, measurement in measurements.items():
             result.add(

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Set, Tuple
 
-from repro.core.windowed import WindowedGSS
 from repro.experiments.config import ExperimentConfig, load_streams
 from repro.experiments.report import ExperimentResult
 from repro.metrics.accuracy import average_precision, average_relative_error
-from repro.queries.primitives import EDGE_NOT_FOUND
+from repro.queries.primitives import edge_weight_or_zero
 
 
 def _window_ground_truth(stream, span: float):
@@ -68,20 +67,24 @@ def run_window_experiment(config: ExperimentConfig = None) -> ExperimentResult:
         width = config.recommended_width(statistics)
         for fraction in span_fractions:
             span = duration * fraction
-            window = WindowedGSS(
-                config.build_gss(width, fingerprint_bits).config,
+            window = config.build_sketch(
+                "windowed-gss",
+                memory_bytes=None,
+                matrix_width=width,
+                fingerprint_bits=fingerprint_bits,
+                rooms=config.rooms,
+                sequence_length=config.sequence_length,
+                candidate_buckets=config.candidate_buckets,
                 window_span=span,
                 slices=slices,
             )
-            window.ingest(ordered)
+            config.feed(window, ordered)
 
             truth_weights, truth_successors = _window_ground_truth(ordered, span)
-            edge_pairs = []
-            for key, true_weight in config.sample_items(list(truth_weights.items())):
-                estimate = window.edge_query(*key)
-                if estimate == EDGE_NOT_FOUND:
-                    estimate = 0.0
-                edge_pairs.append((estimate, true_weight))
+            edge_pairs = [
+                (edge_weight_or_zero(window, *key), true_weight)
+                for key, true_weight in config.sample_items(list(truth_weights.items()))
+            ]
             successor_pairs = []
             for node, true_set in config.sample_items(list(truth_successors.items())):
                 successor_pairs.append((true_set, window.successor_query(node)))

@@ -13,7 +13,10 @@ hitters and cross-epoch heavy changers.
 from repro.queries.primitives import (
     EDGE_NOT_FOUND,
     NO_NEIGHBORS,
+    Capabilities,
     GraphQueryInterface,
+    UnsupportedQueryError,
+    edge_weight_or_zero,
 )
 from repro.queries.node_query import node_out_weight, node_in_weight
 from repro.queries.reachability import is_reachable, reachable_set
@@ -56,7 +59,10 @@ from repro.queries.heavy_changers import (
 __all__ = [
     "EDGE_NOT_FOUND",
     "NO_NEIGHBORS",
+    "Capabilities",
     "GraphQueryInterface",
+    "UnsupportedQueryError",
+    "edge_weight_or_zero",
     "node_out_weight",
     "node_in_weight",
     "is_reachable",

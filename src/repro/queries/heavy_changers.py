@@ -17,15 +17,9 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, List, Tuple
 
-from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+from repro.queries.primitives import GraphQueryInterface, edge_weight_or_zero
 
 EdgeKey = Tuple[Hashable, Hashable]
-
-
-def _weight_or_zero(store: GraphQueryInterface, source: Hashable, destination: Hashable) -> float:
-    """Edge weight with the paper's ``-1`` missing sentinel mapped to 0."""
-    weight = store.edge_query(source, destination)
-    return 0.0 if weight == EDGE_NOT_FOUND else weight
 
 
 def edge_changes(
@@ -35,7 +29,7 @@ def edge_changes(
 ) -> List[Tuple[EdgeKey, float]]:
     """Signed weight change ``after - before`` for every candidate edge."""
     return [
-        ((source, destination), _weight_or_zero(after, source, destination) - _weight_or_zero(before, source, destination))
+        ((source, destination), edge_weight_or_zero(after, source, destination) - edge_weight_or_zero(before, source, destination))
         for source, destination in edges
     ]
 
@@ -94,8 +88,8 @@ def relative_changers(
         raise ValueError("ratio must be positive")
     results: List[Tuple[EdgeKey, float]] = []
     for source, destination in edges:
-        old = _weight_or_zero(before, source, destination)
-        new = _weight_or_zero(after, source, destination)
+        old = edge_weight_or_zero(before, source, destination)
+        new = edge_weight_or_zero(after, source, destination)
         if max(old, new) < minimum_weight:
             continue
         if old == 0.0:
@@ -125,7 +119,7 @@ def persistent_edges(
     persistent: List[EdgeKey] = []
     for source, destination in edges:
         if all(
-            _weight_or_zero(store, source, destination) >= minimum_weight
+            edge_weight_or_zero(store, source, destination) >= minimum_weight
             for store in store_list
         ):
             persistent.append((source, destination))
@@ -139,15 +133,15 @@ def new_edges(
 ) -> List[EdgeKey]:
     """Candidate edges absent in ``before`` but present in ``after``.
 
-    On sketches "absent" means the edge query returned the ``-1`` sentinel,
-    so false positives in ``before`` can only *hide* new edges, never invent
-    them — the answer has one-sided error like the underlying primitive.
+    On sketches "absent" means the edge query returned ``None``, so false
+    positives in ``before`` can only *hide* new edges, never invent them —
+    the answer has one-sided error like the underlying primitive.
     """
     return [
         (source, destination)
         for source, destination in edges
-        if before.edge_query(source, destination) == EDGE_NOT_FOUND
-        and after.edge_query(source, destination) != EDGE_NOT_FOUND
+        if before.edge_query(source, destination) is None
+        and after.edge_query(source, destination) is not None
     ]
 
 
@@ -160,6 +154,6 @@ def vanished_edges(
     return [
         (source, destination)
         for source, destination in edges
-        if before.edge_query(source, destination) != EDGE_NOT_FOUND
-        and after.edge_query(source, destination) == EDGE_NOT_FOUND
+        if before.edge_query(source, destination) is not None
+        and after.edge_query(source, destination) is None
     ]

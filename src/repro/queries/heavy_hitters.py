@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, List, Tuple
 
 from repro.queries.node_query import node_in_weight, node_out_weight
-from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+from repro.queries.primitives import GraphQueryInterface
 
 
 def heavy_edges(
@@ -31,7 +31,7 @@ def heavy_edges(
     result = []
     for source, destination in candidate_edges:
         weight = store.edge_query(source, destination)
-        if weight != EDGE_NOT_FOUND and weight >= threshold:
+        if weight is not None and weight >= threshold:
             result.append((source, destination, weight))
     result.sort(key=lambda item: item[2], reverse=True)
     return result
@@ -48,7 +48,7 @@ def top_k_edges(
     weighted = []
     for source, destination in candidate_edges:
         weight = store.edge_query(source, destination)
-        if weight != EDGE_NOT_FOUND:
+        if weight is not None:
             weighted.append((source, destination, weight))
     weighted.sort(key=lambda item: item[2], reverse=True)
     return weighted[:k]

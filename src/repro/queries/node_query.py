@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+from repro.queries.primitives import GraphQueryInterface
 
 
 def node_out_weight(store: GraphQueryInterface, node: Hashable) -> float:
@@ -22,7 +22,7 @@ def node_out_weight(store: GraphQueryInterface, node: Hashable) -> float:
     total = 0.0
     for successor in store.successor_query(node):
         weight = store.edge_query(node, successor)
-        if weight != EDGE_NOT_FOUND:
+        if weight is not None:
             total += weight
     return total
 
@@ -35,6 +35,6 @@ def node_in_weight(store: GraphQueryInterface, node: Hashable) -> float:
     total = 0.0
     for precursor in store.precursor_query(node):
         weight = store.edge_query(precursor, node)
-        if weight != EDGE_NOT_FOUND:
+        if weight is not None:
             total += weight
     return total

@@ -2,8 +2,8 @@
 
 The paper's Definition 4 fixes the contract:
 
-* **edge query** — given an edge ``(s, d)`` return its weight, or ``-1`` if
-  the edge does not exist;
+* **edge query** — given an edge ``(s, d)`` return its weight, or report the
+  edge as absent;
 * **1-hop successor query** — given a node ``v`` return the set of nodes that
   are 1-hop reachable from ``v`` (empty result is reported as ``{-1}`` in the
   paper; we return an empty set and expose the sentinel for callers that want
@@ -13,17 +13,168 @@ The paper's Definition 4 fixes the contract:
 Exact stores answer them exactly; sketches answer them approximately.  The
 compound queries in this package only rely on this protocol, so they run
 unchanged on top of either.
+
+Since the ``repro.api`` redesign the canonical ``edge_query`` returns
+``Optional[float]`` — ``None`` when the edge is absent — because the paper's
+``-1.0`` sentinel collides with a real edge whose deletions sum to exactly
+``-1.0``.  The sentinel form survives as the deprecated
+``edge_query_sentinel`` shim (see :class:`SummaryShims`).
+
+This module also hosts :class:`Capabilities`, the feature descriptor every
+summary structure reports through its ``capabilities()`` classmethod, and
+:class:`UnsupportedQueryError`, raised by structures asked for a query they
+cannot answer.  They live here — not in :mod:`repro.api` — so the core and
+baseline packages can import them without a circular dependency; the public
+API re-exports them.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Protocol, Set, runtime_checkable
+import warnings
+from dataclasses import asdict, dataclass
+from typing import Dict, Hashable, Iterable, Optional, Protocol, Set, Tuple, runtime_checkable
 
-#: Sentinel returned by edge queries when the edge is not present.
+#: Sentinel returned by the deprecated sentinel edge queries when the edge is
+#: not present (the paper's convention).
 EDGE_NOT_FOUND: float = -1.0
 
 #: Sentinel set returned by the paper for empty successor/precursor results.
 NO_NEIGHBORS: Set[int] = frozenset({-1})
+
+
+class UnsupportedQueryError(NotImplementedError):
+    """A summary was asked for a query its structure cannot answer.
+
+    Raised (instead of returning a wrong answer) when e.g. a Count-Min sketch
+    — which stores no topology — receives a successor query.  The
+    corresponding :class:`Capabilities` flag is ``False`` whenever a structure
+    raises this, which the conformance suite asserts.
+    """
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Which optional features of the :class:`GraphQueryInterface` protocol a
+    summary structure actually supports.
+
+    Every registered sketch reports one of these from its ``capabilities()``
+    classmethod; ``repro.api`` exposes them through ``sketch_info`` so callers
+    can pick structures by feature instead of by trial and error.
+    """
+
+    #: ``edge_query`` answers with an estimate (``None`` when absent).
+    edge_queries: bool = True
+    #: ``successor_query`` returns original node IDs.
+    successor_queries: bool = True
+    #: ``precursor_query`` returns original node IDs.
+    precursor_queries: bool = True
+    #: ``node_out_weight`` (aggregate out-going weight) is available.
+    node_out_weights: bool = True
+    #: ``node_in_weight`` (aggregate in-coming weight) is available.
+    node_in_weights: bool = True
+    #: Negative update weights (stream deletions) are handled.
+    deletions: bool = True
+    #: ``update_many`` is an *optimized* batched path (pre-aggregation,
+    #: per-group routing or vectorization) rather than the generic
+    #: item-at-a-time fallback.  Every summary accepts ``update_many`` and
+    #: answers identically either way; this flag marks where batching is a
+    #: speedup.
+    batched_updates: bool = True
+    #: ``to_dict`` / ``from_dict`` round-trip the structure exactly.
+    serializable: bool = False
+    #: Instances with compatible parameters can be merged.
+    mergeable: bool = False
+    #: The structure expires old items (sliding-window semantics).
+    windowed: bool = False
+    #: Sketch-hash-level paths (``update_by_hash`` / ``edge_query_by_hash``).
+    by_hash: bool = False
+    #: A global triangle-count estimate is maintained (``triangle_estimate``).
+    triangle_estimates: bool = False
+
+    def as_dict(self) -> Dict[str, bool]:
+        """The flags as a plain ``{name: bool}`` dictionary (JSON-friendly)."""
+        return asdict(self)
+
+    def supported(self) -> Tuple[str, ...]:
+        """Names of the features this structure supports, in field order."""
+        return tuple(name for name, value in self.as_dict().items() if value)
+
+    @property
+    def topology_queries(self) -> bool:
+        """Whether 1-hop neighbourhood queries work in both directions."""
+        return self.successor_queries and self.precursor_queries
+
+
+class SummaryShims:
+    """Shared protocol defaults and deprecated edge-query spellings.
+
+    Mixed into every summary structure.  The deprecated spellings keep the
+    pre-redesign call sites working while warning:
+
+    * ``edge_query_sentinel`` — the paper's ``-1.0``-when-absent convention,
+      formerly the behaviour of ``edge_query`` itself;
+    * ``edge_query_opt`` — the transitional ``None``-when-absent spelling,
+      now redundant because ``edge_query`` is the ``Optional`` form.
+
+    The mixin also supplies protocol defaults so every structure satisfies
+    the full :class:`repro.api.GraphSummary` surface: a generic item-by-item
+    ``update_many`` loop (classes with an optimized batched path override
+    it; the ``batched_updates`` capability flags the optimized ones), raising
+    ``node_out_weight`` / ``node_in_weight``, and a raising ``to_dict`` for
+    structures without a snapshot format.
+    """
+
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Protocol default: apply a batch item-by-item through ``update``.
+
+        Items are star-unpacked, so windowed structures that keep this
+        default still receive the optional fourth (timestamp) element.
+        """
+        count = 0
+        for item in items:
+            self.update(*item)
+            count += 1
+        return count
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """Protocol default: no aggregate out-weight query."""
+        raise UnsupportedQueryError(
+            f"{type(self).__name__} does not support node_out_weight"
+        )
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """Protocol default: no aggregate in-weight query."""
+        raise UnsupportedQueryError(
+            f"{type(self).__name__} does not support node_in_weight"
+        )
+
+    def to_dict(self, *args, **kwargs) -> Dict:
+        """Protocol default: this structure has no snapshot format."""
+        raise UnsupportedQueryError(
+            f"{type(self).__name__} does not support serialization "
+            "(capabilities().serializable is False)"
+        )
+
+    def edge_query_sentinel(self, source: Hashable, destination: Hashable) -> float:
+        """Deprecated: ``edge_query`` with the legacy ``-1.0`` sentinel."""
+        warnings.warn(
+            "edge_query_sentinel is deprecated; use edge_query, which returns "
+            "None when the edge is absent",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        weight = self.edge_query(source, destination)
+        return EDGE_NOT_FOUND if weight is None else weight
+
+    def edge_query_opt(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Deprecated alias: ``edge_query`` itself now returns ``Optional``."""
+        warnings.warn(
+            "edge_query_opt is deprecated; edge_query itself now returns None "
+            "when the edge is absent",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.edge_query(source, destination)
 
 
 @runtime_checkable
@@ -33,14 +184,24 @@ class GraphQueryInterface(Protocol):
     def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
         """Apply one stream item (add ``weight`` to edge ``source -> destination``)."""
 
-    def edge_query(self, source: Hashable, destination: Hashable) -> float:
-        """Return the aggregated weight of the edge, or ``EDGE_NOT_FOUND``."""
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Return the aggregated weight of the edge, or ``None`` when absent."""
 
     def successor_query(self, node: Hashable) -> Set[Hashable]:
         """Return the 1-hop successors of ``node`` (empty set when none)."""
 
     def precursor_query(self, node: Hashable) -> Set[Hashable]:
         """Return the 1-hop precursors of ``node`` (empty set when none)."""
+
+
+def edge_weight_or_zero(store: GraphQueryInterface, source: Hashable, destination: Hashable) -> float:
+    """``edge_query`` with absent edges reported as ``0.0``.
+
+    The natural reading for accuracy metrics and weight aggregation, shared
+    by the compound-query layer and the experiment runners.
+    """
+    weight = store.edge_query(source, destination)
+    return 0.0 if weight is None else weight
 
 
 def consume_stream(
@@ -52,6 +213,11 @@ def consume_stream(
     (a ``GraphStream``, list, generator, ...).  Stores that expose the
     batched ``update_many`` API (every sketch in :mod:`repro.core`) are fed
     in ``batch_size`` chunks; others fall back to item-at-a-time ``update``.
+
+    This is the low-level feeding loop; prefer
+    :class:`repro.api.StreamSession` in application code — it adds dataset
+    loading, progress hooks and throughput metrics on top of the same
+    chunking.
     """
     update_many = getattr(store, "update_many", None)
     if update_many is None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Tuple
 
-from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+from repro.queries.primitives import GraphQueryInterface
 
 
 def reconstruct_graph(
@@ -31,6 +31,6 @@ def reconstruct_graph(
             if destination not in node_set:
                 continue
             weight = store.edge_query(source, destination)
-            if weight != EDGE_NOT_FOUND:
+            if weight is not None:
                 edges[(source, destination)] = weight
     return edges

@@ -21,12 +21,11 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from repro.queries.primitives import EDGE_NOT_FOUND, GraphQueryInterface
+from repro.queries.primitives import GraphQueryInterface, edge_weight_or_zero
 
 
 def _edge_cost(store: GraphQueryInterface, source: Hashable, destination: Hashable) -> float:
-    weight = store.edge_query(source, destination)
-    return 0.0 if weight == EDGE_NOT_FOUND else weight
+    return edge_weight_or_zero(store, source, destination)
 
 
 def dijkstra_distance(

@@ -1,0 +1,155 @@
+"""Tests for the ``repro.api`` registry, factory and snapshot dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    Capabilities,
+    SketchInfo,
+    SketchSpec,
+    build,
+    from_dict,
+    list_sketches,
+    register_sketch,
+    sketch_info,
+)
+from repro.api.registry import _REGISTRY, reference_budget_bytes
+
+
+class TestRegistryListing:
+    def test_every_expected_sketch_is_registered(self):
+        names = list_sketches()
+        for expected in (
+            "gss", "gss-basic", "undirected-gss", "gss-ensemble", "windowed-gss",
+            "partitioned-gss", "tcm", "gmatrix", "cm", "cu", "gsketch",
+            "triest-base", "triest-impr",
+        ):
+            assert expected in names
+
+    def test_sketch_info_reports_capabilities_and_params(self):
+        info = sketch_info("gss")
+        assert info.capabilities.serializable
+        assert "fingerprint_bits" in info.param_names
+
+    def test_unknown_sketch_names_known_ones(self):
+        with pytest.raises(KeyError, match="registered:.*gss"):
+            sketch_info("nope")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_sketch(sketch_info("gss"))
+
+    def test_custom_registration_round_trip(self):
+        info = SketchInfo(
+            name="test-dummy",
+            description="a test-only sketch",
+            capabilities=Capabilities(),
+            builder=lambda spec: build("gss", memory_bytes=1024),
+        )
+        register_sketch(info)
+        try:
+            assert "test-dummy" in list_sketches()
+            summary = build("test-dummy", memory_bytes=1024)
+            assert summary.memory_bytes() > 0
+        finally:
+            _REGISTRY.pop("test-dummy")
+
+
+class TestFactoryTranslation:
+    def test_build_accepts_name_with_kwargs(self):
+        summary = build("tcm", memory_bytes=65536, params={"depth": 2})
+        assert summary.depth == 2
+        assert summary.memory_bytes() <= 65536
+
+    def test_unknown_param_lists_accepted_ones(self):
+        with pytest.raises(ValueError, match="accepted:.*fingerprint_bits"):
+            build(SketchSpec("gss", memory_bytes=4096, params={"bogus": 1}))
+
+    def test_missing_sizing_raises(self):
+        with pytest.raises(ValueError, match="memory_bytes, expected_edges"):
+            build(SketchSpec("gss"))
+
+    def test_windowed_requires_window_span(self):
+        with pytest.raises(ValueError, match="window_span"):
+            build(SketchSpec("windowed-gss", memory_bytes=4096))
+
+    def test_memory_budget_is_monotone(self):
+        for name in ("gss", "tcm", "gmatrix", "cm"):
+            small = build(name, memory_bytes=8 * 1024)
+            large = build(name, memory_bytes=128 * 1024)
+            assert large.memory_bytes() > small.memory_bytes()
+
+    def test_budgets_are_respected_not_exceeded(self):
+        for name in ("gss", "gss-basic", "tcm", "gmatrix", "cm", "cu", "gsketch"):
+            summary = build(name, memory_bytes=64 * 1024)
+            assert summary.memory_bytes() <= 64 * 1024
+
+    def test_expected_edges_is_the_equal_memory_invariant(self):
+        # Sizing by expected edges puts every sketch on the budget of a
+        # default GSS sized for that edge count.
+        spec = SketchSpec("tcm", expected_edges=10_000)
+        budget = reference_budget_bytes(spec)
+        tcm = build(spec)
+        assert 0.5 * budget <= tcm.memory_bytes() <= budget
+
+    def test_expected_edges_matches_paper_sizing_for_gss(self):
+        summary = build("gss", expected_edges=10_000)
+        # m ~ sqrt(|E| / rooms) + 1, the paper's guidance.
+        assert summary.config.matrix_width == int((10_000 / 2) ** 0.5) + 1
+
+    def test_explicit_size_param_wins_over_budget(self):
+        summary = build(
+            "gss", memory_bytes=1 << 20, params={"matrix_width": 8}
+        )
+        assert summary.config.matrix_width == 8
+
+    def test_backend_threads_through(self):
+        summary = build("gss", memory_bytes=4096, backend="python")
+        assert summary.backend_name == "python"
+        tcm = build("tcm", memory_bytes=4096, backend="python")
+        assert tcm.backend == "python"
+
+    def test_spec_with_params_merges(self):
+        spec = SketchSpec("gss", memory_bytes=4096).with_params(rooms=3)
+        assert build(spec).config.rooms == 3
+
+    def test_partitioned_splits_expected_edges_across_shards(self):
+        sharded = build(
+            "partitioned-gss", expected_edges=8_000, params={"partitions": 4}
+        )
+        # Each shard is sized for |E| / partitions edges.
+        expected_width = int((8_000 / 4 / 2) ** 0.5) + 1
+        assert sharded.shards[0].config.matrix_width == expected_width
+
+
+class TestFromDictDispatch:
+    def test_dispatch_by_tag(self):
+        for name in ("gss", "tcm", "gmatrix", "cm", "cu"):
+            summary = build(name, memory_bytes=4096, seed=3)
+            summary.update("a", "b", 2.0)
+            restored = from_dict(summary.to_dict())
+            assert type(restored) is type(summary)
+            assert restored.edge_query("a", "b") == summary.edge_query("a", "b")
+
+    def test_cm_and_cu_restore_to_distinct_types(self):
+        cm = build("cm", memory_bytes=4096)
+        cu = build("cu", memory_bytes=4096)
+        assert type(from_dict(cm.to_dict())).__name__ == "CountMinSketch"
+        assert type(from_dict(cu.to_dict())).__name__ == "CountMinCUSketch"
+
+    def test_legacy_gss_document_without_tag(self):
+        summary = build("gss", memory_bytes=4096)
+        summary.update("a", "b", 2.0)
+        document = summary.to_dict()
+        del document["sketch"]
+        restored = from_dict(document)
+        assert restored.edge_query("a", "b") == 2.0
+
+    def test_unserializable_tag_rejected(self):
+        with pytest.raises(ValueError, match="does not support serialization"):
+            from_dict({"sketch": "gsketch"})
+
+    def test_untagged_unknown_document_rejected(self):
+        with pytest.raises(ValueError, match="no 'sketch' tag"):
+            from_dict({"something": "else"})

@@ -43,7 +43,7 @@ class TestEnsemble:
     def test_missing_edge(self):
         ensemble = GSSEnsemble(tight_config(), sketches=2)
         ensemble.update("a", "b")
-        assert ensemble.edge_query("x", "y") == EDGE_NOT_FOUND
+        assert ensemble.edge_query("x", "y") is None
 
     def test_never_underestimates(self, small_stream):
         ensemble = GSSEnsemble(tight_config(matrix_width=24), sketches=2)

@@ -15,7 +15,7 @@ def store_class(request):
 class TestExactStoresSharedBehaviour:
     def test_missing_edge_is_not_found(self, store_class):
         store = store_class()
-        assert store.edge_query("a", "b") == EDGE_NOT_FOUND
+        assert store.edge_query("a", "b") is None
 
     def test_weights_accumulate(self, store_class):
         store = store_class()
@@ -26,7 +26,7 @@ class TestExactStoresSharedBehaviour:
     def test_direction_matters(self, store_class):
         store = store_class()
         store.update("a", "b", 1.0)
-        assert store.edge_query("b", "a") == EDGE_NOT_FOUND
+        assert store.edge_query("b", "a") is None
 
     def test_successors_and_precursors(self, store_class):
         store = store_class()
@@ -72,7 +72,7 @@ class TestAdjacencyListSpecifics:
         store = AdjacencyListGraph()
         store.update("a", "b", 3.0)
         store.update("a", "b", -3.0)
-        assert store.edge_query("a", "b") == EDGE_NOT_FOUND
+        assert store.edge_query("a", "b") is None
         assert store.edge_count == 0
         assert store.successor_query("a") == set()
 
@@ -93,4 +93,4 @@ class TestAdjacencyMatrixSpecifics:
         store = AdjacencyMatrixGraph()
         store.update("a", "b", 2.0)
         store.update("a", "b", -2.0)
-        assert store.edge_query("a", "b") == EDGE_NOT_FOUND
+        assert store.edge_query("a", "b") is None

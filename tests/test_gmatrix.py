@@ -19,7 +19,7 @@ class TestGMatrix:
     def test_unknown_nodes_not_found(self):
         gmatrix = GMatrix(width=16)
         gmatrix.update("a", "b")
-        assert gmatrix.edge_query("x", "y") == EDGE_NOT_FOUND
+        assert gmatrix.edge_query("x", "y") is None
 
     def test_successors_superset_of_truth(self, paper_stream):
         gmatrix = consume_stream(GMatrix(width=64), paper_stream)

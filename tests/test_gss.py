@@ -35,12 +35,12 @@ class TestGSSUpdateAndEdgeQuery:
     def test_absent_edge_not_found(self):
         sketch = make_gss()
         sketch.update("a", "b", 1.0)
-        assert sketch.edge_query("nope", "way") == EDGE_NOT_FOUND
+        assert sketch.edge_query("nope", "way") is None
 
     def test_direction_matters(self):
         sketch = make_gss()
         sketch.update("a", "b", 1.0)
-        assert sketch.edge_query("b", "a") == EDGE_NOT_FOUND
+        assert sketch.edge_query("b", "a") is None
 
     def test_never_underestimates_on_real_stream(self, small_stream, small_gss):
         truth = small_stream.aggregate_weights()

@@ -30,7 +30,7 @@ class TestGSSBasicQueries:
     def test_absent_edge_usually_not_found(self):
         sketch = GSSBasic(matrix_width=32, fingerprint_bits=16)
         sketch.update("a", "b", 1.0)
-        assert sketch.edge_query("x", "y") == EDGE_NOT_FOUND
+        assert sketch.edge_query("x", "y") is None
 
     def test_duplicate_edges_aggregate(self):
         sketch = GSSBasic(matrix_width=16, fingerprint_bits=12)

@@ -206,33 +206,44 @@ class TestBatchUpdateWrappers:
 
 
 class TestSentinelFix:
-    def test_edge_query_opt_distinguishes_real_minus_one(self):
+    def test_edge_query_distinguishes_real_minus_one(self):
         config = GSSConfig(matrix_width=8, sequence_length=4, candidate_buckets=4)
         sketch = GSS(config)
         sketch.update("a", "b", 1.0)
         sketch.update("a", "b", -2.0)  # deletions sum the edge to exactly -1.0
-        assert sketch.edge_query("a", "b") == -1.0          # legacy: ambiguous
-        assert sketch.edge_query_opt("a", "b") == -1.0      # real edge, real weight
-        assert sketch.edge_query_opt("a", "zz") is None     # absent edge
-        assert sketch.edge_query("a", "zz") == -1.0
+        assert sketch.edge_query("a", "b") == -1.0      # real edge, real weight
+        assert sketch.edge_query("a", "zz") is None     # absent edge, unambiguous
+        # The paper's sentinel convention survives as a deprecated shim where
+        # the two cases collapse onto the same -1.0.
+        with pytest.warns(DeprecationWarning):
+            assert sketch.edge_query_sentinel("a", "b") == -1.0
+        with pytest.warns(DeprecationWarning):
+            assert sketch.edge_query_sentinel("a", "zz") == -1.0
+        # ...as does the transitional edge_query_opt alias.
+        with pytest.warns(DeprecationWarning):
+            assert sketch.edge_query_opt("a", "b") == -1.0
+        with pytest.warns(DeprecationWarning):
+            assert sketch.edge_query_by_hash_opt(
+                sketch.node_hash("a"), sketch.node_hash("zz")
+            ) is None
 
-    def test_opt_variants_on_wrappers(self):
+    def test_none_semantics_on_wrappers(self):
         config = GSSConfig(matrix_width=8, sequence_length=4, candidate_buckets=4)
         windowed = WindowedGSS(config, window_span=10.0)
         windowed.update("a", "b", 1.0, timestamp=0.0)
         windowed.update("a", "b", -2.0, timestamp=1.0)
-        assert windowed.edge_query_opt("a", "b") == -1.0
-        assert windowed.edge_query_opt("a", "zz") is None
+        assert windowed.edge_query("a", "b") == -1.0
+        assert windowed.edge_query("a", "zz") is None
 
         partitioned = PartitionedGSS(config, partitions=2)
         partitioned.update("a", "b", -1.0)
-        assert partitioned.edge_query_opt("a", "b") == -1.0
-        assert partitioned.edge_query_opt("zz", "a") is None
+        assert partitioned.edge_query("a", "b") == -1.0
+        assert partitioned.edge_query("zz", "a") is None
 
         ensemble = GSSEnsemble(config, sketches=2)
         ensemble.update("a", "b", -1.0)
-        assert ensemble.edge_query_opt("a", "b") == -1.0
-        assert ensemble.edge_query_opt("a", "zz") is None
+        assert ensemble.edge_query("a", "b") == -1.0
+        assert ensemble.edge_query("a", "zz") is None
 
     def test_buffer_get_annotation_is_optional(self):
         hints = typing.get_type_hints(LeftoverBuffer.get)

@@ -132,7 +132,7 @@ class TestTroubleshootingUseCase:
         truth = stream.aggregate_weights()
         present = list(truth)[:100]
         for key in present:
-            assert sketch.edge_query(*key) != EDGE_NOT_FOUND
+            assert sketch.edge_query(*key) is not None
         absent_queries = [("ghost-1", "ghost-2"), ("ghost-3", "ghost-4")]
         for source, destination in absent_queries:
-            assert sketch.edge_query(source, destination) == EDGE_NOT_FOUND
+            assert sketch.edge_query(source, destination) is None

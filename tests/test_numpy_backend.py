@@ -78,7 +78,7 @@ def assert_observationally_equal(first: GSS, second: GSS, items) -> None:
         assert first.successor_query(node) == second.successor_query(node)
         assert first.node_out_weight(node) == second.node_out_weight(node)
         for other in nodes:
-            assert first.edge_query_opt(node, other) == second.edge_query_opt(node, other)
+            assert first.edge_query(node, other) == second.edge_query(node, other)
 
 
 @requires_numpy

@@ -69,7 +69,7 @@ class TestRoutingAndQueries:
     def test_missing_edge(self):
         sharded = make_partitioned()
         sharded.update("a", "b")
-        assert sharded.edge_query("nope", "nothing") == EDGE_NOT_FOUND
+        assert sharded.edge_query("nope", "nothing") is None
 
     def test_node_weights(self):
         sharded = make_partitioned()

@@ -1,0 +1,137 @@
+"""Tests for the :class:`repro.api.StreamSession` ingestion facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SketchSpec, StreamSession, build
+from repro.exact.adjacency_list import AdjacencyListGraph
+from repro.streaming.edge import StreamEdge
+from repro.streaming.stream import GraphStream, stream_from_pairs
+
+
+def small_stream() -> GraphStream:
+    pairs = [(f"s{i % 5}", f"d{i % 7}") for i in range(100)]
+    return stream_from_pairs(pairs, [1.0] * len(pairs), name="session-test")
+
+
+class TestFeeding:
+    def test_feed_matches_manual_updates(self):
+        session = StreamSession(build("gss", memory_bytes=8192, seed=5), batch_size=16)
+        report = session.feed(small_stream())
+        assert report.items == 100
+        assert report.batches == 7  # ceil(100 / 16)
+        assert report.seconds >= 0
+
+        manual = build("gss", memory_bytes=8192, seed=5)
+        for edge in small_stream():
+            manual.update(edge.source, edge.destination, edge.weight)
+        assert (
+            session.summary.reconstruct_sketch_edges()
+            == manual.reconstruct_sketch_edges()
+        )
+
+    def test_feed_bare_triples(self):
+        session = StreamSession(build("gss", memory_bytes=8192))
+        session.feed([("a", "b", 2.0), ("a", "c", 1.0)])
+        assert session.summary.edge_query("a", "b") == 2.0
+
+    def test_feed_dataset_by_name(self):
+        session = StreamSession(SketchSpec("gss"))
+        report = session.feed_dataset("email-EuAll", scale=0.05)
+        assert report.items > 0
+        assert session.summary.update_count == report.items
+
+    def test_scalar_fallback_without_update_many(self):
+        class ScalarOnly:
+            def __init__(self):
+                self.seen = []
+
+            def update(self, source, destination, weight=1.0):
+                self.seen.append((source, destination, weight))
+
+        store = ScalarOnly()
+        StreamSession(store, batch_size=8).feed(small_stream())
+        assert len(store.seen) == 100
+
+    def test_exact_store_feeds_like_consume_stream(self):
+        exact = AdjacencyListGraph()
+        StreamSession(exact).feed(small_stream())
+        assert exact.edge_query("s0", "d0") == small_stream().aggregate_weights()[("s0", "d0")]
+
+
+class TestAutoSizing:
+    def test_spec_without_sizing_built_from_stream(self):
+        session = StreamSession(SketchSpec("gss"))
+        with pytest.raises(RuntimeError, match="not been built"):
+            session.summary
+        session.feed(small_stream())
+        summary = session.summary
+        distinct = small_stream().statistics().distinct_edges
+        assert summary.config.matrix_width == int((distinct / 2) ** 0.5) + 1
+
+    def test_sketch_name_shorthand(self):
+        session = StreamSession("tcm")
+        session.feed(small_stream())
+        assert session.summary.width >= 2
+
+    def test_unsized_spec_rejects_raw_iterables(self):
+        session = StreamSession(SketchSpec("gss"))
+        with pytest.raises(RuntimeError, match="auto-sized"):
+            session.feed([("a", "b", 1.0)])
+
+
+class TestWindowedRouting:
+    def test_timestamps_reach_windowed_summaries(self):
+        window = build(
+            "windowed-gss",
+            memory_bytes=8192,
+            params={"window_span": 10.0, "slices": 2},
+        )
+        edges = [
+            StreamEdge(source="old", destination="x", weight=1.0, timestamp=0.0),
+            StreamEdge(source="new", destination="y", weight=1.0, timestamp=100.0),
+        ]
+        StreamSession(window).feed(edges)
+        assert window.edge_query("old", "x") is None  # expired with its slice
+        assert window.edge_query("new", "y") == 1.0
+
+
+class TestMetricsAndProgress:
+    def test_progress_hook_called_per_batch(self):
+        calls = []
+        session = StreamSession(
+            build("gss", memory_bytes=8192),
+            batch_size=25,
+            on_progress=calls.append,
+        )
+        session.feed(small_stream())
+        # One call per chunk plus the completion call.
+        assert len(calls) == 5
+        assert calls[-1].items == 100
+
+    def test_cumulative_stats_across_feeds(self):
+        session = StreamSession(build("gss", memory_bytes=8192), batch_size=50)
+        session.feed(small_stream())
+        session.feed(small_stream())
+        assert session.stats.items == 200
+        assert session.stats.batches == 4
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            StreamSession(build("gss", memory_bytes=1024), batch_size=0)
+
+
+class TestFailFastSpecs:
+    def test_invalid_param_fails_at_construction(self):
+        with pytest.raises(ValueError, match="accepted:"):
+            StreamSession(SketchSpec("gss", params={"matrix_widht": 64}))
+
+    def test_missing_required_param_fails_at_construction(self):
+        with pytest.raises(ValueError, match="window_span"):
+            StreamSession(SketchSpec("windowed-gss"))
+
+    def test_param_sized_spec_builds_immediately(self):
+        session = StreamSession(SketchSpec("gss", params={"matrix_width": 16}))
+        session.feed([("a", "b", 1.0)])
+        assert session.summary.edge_query("a", "b") == 1.0

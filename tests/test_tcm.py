@@ -32,7 +32,7 @@ class TestTCMQueries:
     def test_absent_edge_with_large_width(self):
         tcm = TCM(width=1024, depth=4)
         tcm.update("a", "b", 1.0)
-        assert tcm.edge_query("x", "y") == EDGE_NOT_FOUND
+        assert tcm.edge_query("x", "y") is None
 
     def test_small_width_collides(self):
         # With a 2x2 matrix every edge shares cells: estimates blow up.

@@ -42,7 +42,7 @@ class TestUndirectedGSS:
     def test_absent_edge(self):
         sketch = make_undirected()
         sketch.update("a", "b")
-        assert sketch.edge_query("c", "d") == EDGE_NOT_FOUND
+        assert sketch.edge_query("c", "d") is None
 
     def test_neighbor_query_union(self):
         sketch = make_undirected()

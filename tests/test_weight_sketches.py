@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.cm_sketch import CountMinSketch
 from repro.baselines.cu_sketch import CountMinCUSketch
 from repro.baselines.gsketch import GSketch
-from repro.queries.primitives import consume_stream
+from repro.queries.primitives import UnsupportedQueryError, consume_stream
 
 
 @pytest.fixture(params=[CountMinSketch, CountMinCUSketch])
@@ -40,8 +40,11 @@ class TestCountMinFamily:
 
     def test_has_no_topology_queries(self, cm_class):
         sketch = cm_class(width=16)
-        assert not hasattr(sketch, "successor_query")
-        assert not hasattr(sketch, "precursor_query")
+        with pytest.raises(UnsupportedQueryError):
+            sketch.successor_query("a")
+        with pytest.raises(UnsupportedQueryError):
+            sketch.precursor_query("a")
+        assert not sketch.capabilities().topology_queries
 
 
 class TestConservativeUpdate:

@@ -44,7 +44,7 @@ class TestUpdatesAndQueries:
     def test_missing_edge_returns_sentinel(self):
         window = make_window()
         window.update("a", "b", timestamp=1.0)
-        assert window.edge_query("x", "y") == EDGE_NOT_FOUND
+        assert window.edge_query("x", "y") is None
 
     def test_weights_accumulate_across_slices(self):
         window = make_window(span=100.0, slices=4)
@@ -86,7 +86,7 @@ class TestExpiry:
         window = make_window(span=100.0, slices=4)
         window.update("a", "b", timestamp=1.0)
         window.update("x", "y", timestamp=500.0)
-        assert window.edge_query("a", "b") == EDGE_NOT_FOUND
+        assert window.edge_query("a", "b") is None
         assert window.edge_query("x", "y") == pytest.approx(1.0)
         assert window.expired_slice_count >= 1
 
@@ -94,7 +94,7 @@ class TestExpiry:
         window = make_window(span=50.0, slices=5)
         window.update("x", "y", timestamp=1000.0)
         window.update("a", "b", timestamp=10.0)  # far in the past
-        assert window.edge_query("a", "b") == EDGE_NOT_FOUND
+        assert window.edge_query("a", "b") is None
         assert window.update_count == 2
 
     def test_window_bounds_follow_latest_item(self):
@@ -110,7 +110,7 @@ class TestExpiry:
             window.update("s", f"d{step}", timestamp=float(step * 10))
         # Only items in the last 100 time units should remain visible.
         assert window.edge_query("s", "d19") == pytest.approx(1.0)
-        assert window.edge_query("s", "d0") == EDGE_NOT_FOUND
+        assert window.edge_query("s", "d0") is None
 
 
 class TestIngestAndStats:
