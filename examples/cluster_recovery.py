@@ -1,0 +1,69 @@
+"""Scaling out: multi-process sharded ingestion with checkpoint/recovery.
+
+The scenario: a traffic-analysis service ingests an edge stream too fast for
+one process, so it runs a ``sharded-gss`` cluster — N worker processes, each
+owning one GSS shard, fed through pipelined batches (see the README's
+"Scaling out" section).  Mid-stream the whole cluster crashes; the operator
+restores the latest checkpoint and replays the stream from the recorded
+position, ending in exactly the state an uninterrupted run would have
+reached.
+
+Run with::
+
+    PYTHONPATH=src python examples/cluster_recovery.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.api import StreamSession, build
+from repro.cluster import load_checkpoint, save_checkpoint
+from repro.datasets.registry import load_dataset
+
+
+def main() -> None:
+    stream = load_dataset("email-EuAll", scale=0.1)
+    edges = list(stream)
+    half = len(edges) // 2
+    print(f"stream: {len(edges)} items, {stream.statistics().distinct_edges} distinct edges")
+
+    # One factory call builds the whole cluster; the memory budget is split
+    # evenly across the worker processes.
+    cluster = build("sharded-gss", memory_bytes=256 * 1024, params={"workers": 2})
+
+    # --- normal operation: ingest, watch the routing ------------------------
+    session = StreamSession(cluster, batch_size=512)
+    report = session.feed(edges[:half])
+    print(
+        f"ingested {report.items} items at {report.items_per_second:,.0f} items/s; "
+        f"shard routing {report.shard_items} "
+        f"(imbalance {report.routing_imbalance:.2f}), "
+        f"queue high-water {report.queue_depth_high_water}"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="gss-cluster-") as directory:
+        # --- periodic checkpoint, then a crash ------------------------------
+        manifest = save_checkpoint(cluster, directory)
+        print(f"checkpoint written: {manifest}")
+        cluster.kill()  # simulate the whole cluster dying, no graceful exit
+        print("cluster crashed (workers killed)")
+
+        # --- recovery: restore and replay from the recorded position --------
+        restored = load_checkpoint(directory)
+        print(f"restored cluster at update_count={restored.update_count}")
+        StreamSession(restored, batch_size=512).feed(edges[half:])
+
+    # The resumed summary serves the full query surface.
+    busiest = max(stream.nodes(), key=lambda node: len(stream.successors().get(node, ())))
+    print(
+        f"node {busiest!r}: out-weight {restored.node_out_weight(busiest):.0f}, "
+        f"{len(restored.successor_query(busiest))} successors, "
+        f"{len(restored.precursor_query(busiest))} precursors"
+    )
+    restored.close()
+    print("done: crash-recovery run answered from the restored state")
+
+
+if __name__ == "__main__":
+    main()

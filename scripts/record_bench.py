@@ -13,6 +13,7 @@ Usage::
     PYTHONPATH=src python scripts/record_bench.py                 # default bench scale
     PYTHONPATH=src python scripts/record_bench.py --quick         # smoke
     PYTHONPATH=src python scripts/record_bench.py --repeats 3     # steadier numbers
+    PYTHONPATH=src python scripts/record_bench.py --workers 4     # + cluster row
     PYTHONPATH=src python scripts/record_bench.py --out BENCH_tab1.json
 """
 
@@ -20,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -45,6 +47,9 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="update_many chunk size (default 1024)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="cold runs averaged per measurement (default 1)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="also measure a multi-process sharded-gss cluster "
+                             "row with this many worker processes (default 0 = off)")
     parser.add_argument("--label", default=None,
                         help="free-form label stored with the run (e.g. the PR number)")
     return parser.parse_args(argv)
@@ -59,15 +64,21 @@ def build_config(args: argparse.Namespace, backend: str) -> ExperimentConfig:
         config.extras["batch_size"] = args.batch_size
     if args.repeats != 1:
         config.extras["speed_repeats"] = args.repeats
+    if args.workers:
+        config.workers = args.workers
     return config
 
 
-def update_many_rates(rows) -> dict:
+def structure_rates(rows, structure: str) -> dict:
     return {
         row["dataset"]: row["edges_per_second"]
         for row in rows
-        if row["structure"] == "GSS(update_many)"
+        if row["structure"] == structure
     }
+
+
+def update_many_rates(rows) -> dict:
+    return structure_rates(rows, "GSS(update_many)")
 
 
 def main(argv=None) -> int:
@@ -78,9 +89,12 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "numpy_available": NUMPY_AVAILABLE,
         "repeats": args.repeats,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
         "results": {},
     }
     rates = {}
+    sharded_rates = {}
     for backend in backends:
         config = build_config(args, backend)
         print(f"== running tab1 on backend={backend} ==", flush=True)
@@ -89,6 +103,29 @@ def main(argv=None) -> int:
         print()
         run_entry["results"][backend] = results_to_document([result], config)
         rates[backend] = update_many_rates(result.rows)
+        if args.workers:
+            sharded_rates[backend] = structure_rates(
+                result.rows, f"sharded-gss(workers={args.workers})"
+            )
+    if args.workers:
+        # Cluster ingest vs the single-process batched path, per backend: the
+        # multi-core speedup the repro.cluster subsystem is after.  On a
+        # single-core machine (cpu_count above) this ratio measures pure IPC
+        # overhead and lands below 1.
+        run_entry["sharded_speedup_vs_update_many"] = {
+            backend: {
+                dataset: sharded_rates[backend][dataset] / rate
+                for dataset, rate in rates[backend].items()
+                if rate and sharded_rates[backend].get(dataset)
+            }
+            for backend in sharded_rates
+        }
+        for backend, speedups in run_entry["sharded_speedup_vs_update_many"].items():
+            for dataset, speedup in speedups.items():
+                print(
+                    f"sharded-gss(workers={args.workers}) vs GSS(update_many) "
+                    f"on {dataset} [{backend}]: {speedup:.2f}x"
+                )
     if "numpy" in rates:
         speedups = {
             dataset: rates["numpy"][dataset] / rates["python"][dataset]

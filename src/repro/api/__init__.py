@@ -36,6 +36,7 @@ from repro.api.protocol import (
     Capabilities,
     GraphQueryInterface,
     GraphSummary,
+    ShardIngestStats,
     UnsupportedQueryError,
 )
 from repro.api.registry import (
@@ -55,6 +56,7 @@ __all__ = [
     "GraphQueryInterface",
     "GraphSummary",
     "IngestReport",
+    "ShardIngestStats",
     "SketchInfo",
     "SketchSpec",
     "SpecSizingError",

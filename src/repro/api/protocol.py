@@ -34,6 +34,7 @@ from typing import Dict, Hashable, Iterable, Optional, Protocol, Set, Tuple, run
 
 from repro.queries.primitives import (  # noqa: F401  (re-exports)
     Capabilities,
+    ShardIngestStats,
     SummaryShims,
     GraphQueryInterface,
     UnsupportedQueryError,
@@ -41,6 +42,7 @@ from repro.queries.primitives import (  # noqa: F401  (re-exports)
 
 __all__ = [
     "Capabilities",
+    "ShardIngestStats",
     "SummaryShims",
     "GraphQueryInterface",
     "GraphSummary",

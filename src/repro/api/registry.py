@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.api.adapters import TriestSummary
 from repro.api.protocol import Capabilities, GraphSummary
+from repro.cluster.sharded import DEFAULT_ROUTING_SEED, ShardedSummary
 from repro.baselines.cm_sketch import CountMinSketch
 from repro.baselines.cu_sketch import CountMinCUSketch
 from repro.baselines.gmatrix import GMatrix
@@ -343,6 +344,51 @@ def _build_partitioned(spec: SketchSpec) -> PartitionedGSS:
     return PartitionedGSS(config, partitions=partitions, routing_seed=routing_seed)
 
 
+#: Cluster-level parameters of ``sharded-gss``; everything else in the spec's
+#: ``params`` is passed through to the inner per-shard GSS.
+_CLUSTER_PARAMS = ("workers", "routing_seed", "batch_size")
+
+
+def _build_sharded(spec: SketchSpec) -> ShardedSummary:
+    """Build a multi-process GSS cluster (see :mod:`repro.cluster`).
+
+    The memory budget (or expected edge count) is split evenly across the
+    worker processes, the same arithmetic as ``partitioned-gss``, so a
+    cluster and a monolithic sketch built at the same budget are an
+    equal-memory comparison.
+    """
+    workers = spec.params.get("workers", 2)
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    inner_params = {
+        key: value for key, value in spec.params.items() if key not in _CLUSTER_PARAMS
+    }
+    inner = SketchSpec(
+        "gss", backend=spec.backend, seed=spec.seed, params=inner_params
+    )
+    if "matrix_width" in inner_params:
+        pass  # explicitly sized shards
+    elif spec.memory_bytes is not None:
+        inner = replace(
+            inner, memory_bytes=max(1, reference_budget_bytes(spec) // workers)
+        )
+    elif spec.expected_edges is not None:
+        inner = replace(
+            inner, expected_edges=max(1, spec.expected_edges // workers)
+        )
+    else:
+        raise SpecSizingError(
+            "SketchSpec('sharded-gss') needs memory_bytes, expected_edges or "
+            "params['matrix_width']"
+        )
+    return ShardedSummary(
+        inner,
+        workers=workers,
+        routing_seed=spec.params.get("routing_seed", DEFAULT_ROUTING_SEED),
+        batch_size=spec.params.get("batch_size", 1024),
+    )
+
+
 def _build_tcm(spec: SketchSpec) -> TCM:
     depth = spec.params.get("depth", 4)
     width = spec.params.get("width")
@@ -440,6 +486,17 @@ def _register_defaults() -> None:
             capabilities=PartitionedGSS.capabilities(),
             builder=_build_partitioned,
             param_names=_GSS_PARAMS + ("partitions", "routing_seed"),
+        ),
+        SketchInfo(
+            name="sharded-gss",
+            description="multi-process source-sharded GSS cluster (repro.cluster)",
+            # The inner GSS's capabilities minus single-sketch-only features
+            # (hash-level paths, in-place merging); must equal what
+            # ShardedSummary.capabilities() reports for a gss inner spec.
+            capabilities=Capabilities(serializable=True),
+            builder=_build_sharded,
+            param_names=_GSS_PARAMS + _CLUSTER_PARAMS,
+            restorer=ShardedSummary.from_dict,
         ),
         SketchInfo(
             name="tcm",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Union
+from typing import Callable, Iterable, List, Optional, Union
 
 from repro.api.protocol import GraphSummary
 from repro.api.registry import SketchSpec, SpecSizingError, build
@@ -31,16 +31,38 @@ __all__ = ["IngestReport", "StreamSession"]
 
 @dataclass
 class IngestReport:
-    """Metrics of one (or the running total of all) ``feed`` calls."""
+    """Metrics of one (or the running total of all) ``feed`` calls.
+
+    ``shard_items`` and ``queue_depth_high_water`` are populated only when
+    the summary is a sharded deployment exposing ``shard_ingest_stats()``
+    (:class:`~repro.core.partitioned.PartitionedGSS`,
+    :class:`~repro.cluster.ShardedSummary`): items routed to each shard *by
+    this feed*, and the largest number of batches in flight to any single
+    worker observed so far (always 0 for synchronous in-process sharding).
+    """
 
     items: int = 0
     batches: int = 0
     seconds: float = 0.0
+    #: Items this feed routed to each shard (``None`` for unsharded summaries).
+    shard_items: Optional[List[int]] = None
+    #: High-water mark of per-worker batch queue depth (``None`` unsharded).
+    queue_depth_high_water: Optional[int] = None
 
     @property
     def items_per_second(self) -> float:
         """Observed ingestion throughput (0 when nothing was timed)."""
         return self.items / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def routing_imbalance(self) -> Optional[float]:
+        """Max-over-mean of ``shard_items`` (``None`` for unsharded feeds)."""
+        if self.shard_items is None:
+            return None
+        mean = sum(self.shard_items) / len(self.shard_items) if self.shard_items else 0.0
+        if mean == 0:
+            return 1.0
+        return max(self.shard_items) / mean
 
 
 class StreamSession:
@@ -161,6 +183,10 @@ class StreamSession:
         capabilities = getattr(summary, "capabilities", None)
         windowed = bool(capabilities and capabilities().windowed)
         update_many = getattr(summary, "update_many", None)
+        # Sharded deployments report per-shard routing; snapshot the counters
+        # so this feed's delta can be attributed to it.
+        shard_stats = getattr(summary, "shard_ingest_stats", None)
+        routed_before = list(shard_stats().items_routed) if shard_stats else None
 
         report = IngestReport()
         started = time.perf_counter()
@@ -200,10 +226,32 @@ class StreamSession:
                 batch = []
         if batch:
             flush(batch)
+        # Pipelined summaries (the multi-process cluster) apply batches
+        # asynchronously; barrier before stopping the clock so the reported
+        # throughput covers the work, not just the routing.
+        barrier = getattr(summary, "flush", None)
+        if callable(barrier):
+            barrier()
         report.seconds = time.perf_counter() - started
+        if shard_stats is not None:
+            after = shard_stats()
+            report.shard_items = [
+                now - before
+                for now, before in zip(after.items_routed, routed_before)
+            ]
+            report.queue_depth_high_water = after.queue_depth_high_water
         self._total.items += report.items
         self._total.batches += report.batches
         self._total.seconds += report.seconds
+        if report.shard_items is not None:
+            if self._total.shard_items is None:
+                self._total.shard_items = list(report.shard_items)
+            else:
+                self._total.shard_items = [
+                    total + delta
+                    for total, delta in zip(self._total.shard_items, report.shard_items)
+                ]
+            self._total.queue_depth_high_water = report.queue_depth_high_water
         self._notify(report)
         return report
 

@@ -5,9 +5,10 @@ result rows as an aligned text table.  ``--scale`` controls the synthetic
 dataset size, ``--paper-scale`` switches to the full configuration (all five
 datasets, full query sets), ``--quick`` runs the tiny smoke configuration,
 ``--backend`` selects the sketch matrix backend, ``--sketch NAME`` (repeatable)
-adds equal-memory comparison rows for any registered sketch, and ``--json
-PATH`` writes the result rows as a machine-readable document (the
-perf-trajectory format consumed by ``scripts/record_bench.py``).
+adds equal-memory comparison rows for any registered sketch, ``--workers N``
+adds a multi-process ``sharded-gss`` cluster row to tab1, and ``--json PATH``
+writes the result rows as a machine-readable document (the perf-trajectory
+format consumed by ``scripts/record_bench.py``).
 
 ``sketches`` is not an experiment: it lists the registry — every sketch the
 ``repro.api`` factory can build, with its capabilities.
@@ -124,6 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "add a multi-process sharded-gss cluster row with N worker "
+            "processes to tab1 (equal memory to the reference GSS; see the "
+            "repro.cluster subsystem)"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=["python", "numpy", "auto"],
         default="python",
@@ -181,6 +193,10 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         if args.batch_size < 1:
             raise SystemExit("--batch-size must be at least 1")
         config.extras["batch_size"] = args.batch_size
+    if getattr(args, "workers", None) is not None:
+        if args.workers < 1:
+            raise SystemExit("--workers must be at least 1")
+        config.workers = args.workers
     if getattr(args, "backend", None):
         config.backend = args.backend
     if getattr(args, "sketch", None):
@@ -217,6 +233,7 @@ def results_to_document(results: List, config: ExperimentConfig) -> Dict:
         "dataset_scale": config.dataset_scale,
         "datasets": list(config.datasets),
         "batch_size": config.extras.get("batch_size", 1024),
+        "workers": config.workers,
         "experiments": [
             {
                 "experiment": result.experiment,

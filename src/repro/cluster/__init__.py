@@ -1,0 +1,40 @@
+"""``repro.cluster`` — multi-process sharded deployment of the summaries.
+
+The subsystem takes the single-process sharding simulation of
+:class:`~repro.core.partitioned.PartitionedGSS` across real process
+boundaries:
+
+* :class:`ShardedSummary` — hash-partitions edges by source node over N
+  worker processes, pipelines batched ingestion through each worker's
+  ``update_many`` fast path, and serves capability-gated fan-out queries
+  (edge / successor / node-out-weight route to one shard; precursor and
+  node-in-weight scatter-gather);
+* :mod:`repro.cluster.checkpoint` — whole-cluster checkpoint/recovery built
+  on the shards' ``to_dict`` snapshots (per-shard files + a manifest),
+  resumable mid-stream;
+* :mod:`repro.cluster.worker` — the shard worker process protocol.
+
+The cluster registers in the :mod:`repro.api` factory as ``"sharded-gss"``
+(parameters: ``workers``, ``routing_seed``, ``batch_size`` plus every GSS
+parameter), so ``StreamSession``, the conformance laws, the CLI's
+``--sketch``/``--workers`` flags and the tab1 throughput rows drive it like
+any other summary.
+"""
+
+from repro.cluster.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
+from repro.cluster.sharded import DEFAULT_ROUTING_SEED, ClusterError, ShardedSummary
+
+__all__ = [
+    "CheckpointError",
+    "ClusterError",
+    "DEFAULT_ROUTING_SEED",
+    "ShardedSummary",
+    "load_checkpoint",
+    "read_manifest",
+    "save_checkpoint",
+]

@@ -1,0 +1,143 @@
+"""Whole-cluster checkpoint/recovery for :class:`ShardedSummary`.
+
+Layout of a checkpoint directory::
+
+    <directory>/
+        manifest.json     # cluster topology, routing seed, per-shard files
+        shard-0.json      # shard 0's own to_dict snapshot
+        shard-1.json
+        ...
+
+The manifest carries everything needed to rebuild the cluster (worker count,
+routing seed, inner sketch spec, items routed per shard) and names one
+snapshot file per shard; each shard file is the shard summary's ordinary
+``to_dict`` document, so a shard snapshot can also be restored stand-alone
+with :func:`repro.api.from_dict`.
+
+Checkpoints are *consistent*: :meth:`ShardedSummary.shard_snapshots` flushes
+the ingestion pipeline first, so the snapshot reflects exactly the items
+routed before the checkpoint call.  A cluster restored from a checkpoint is
+resumable mid-stream — feeding it the remainder of the stream produces the
+same final answers as an uninterrupted run, which the recovery tests (and the
+CI cluster smoke leg) verify by killing the worker processes between the
+checkpoint and the restore.
+
+Writes are atomic-ish: every file is written to a ``*.tmp`` sibling and
+renamed into place, the manifest last, so a crash mid-checkpoint can never
+leave a directory that parses as a complete-but-corrupt checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.cluster.sharded import ShardedSummary
+
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint", "read_manifest"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "repro-cluster-checkpoint"
+MANIFEST_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint directory is missing, incomplete, or malformed."""
+
+
+def _write_atomic(path: Path, document: Dict) -> None:
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    with temporary.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    os.replace(temporary, path)
+
+
+def save_checkpoint(cluster: ShardedSummary, directory: Union[str, Path]) -> Path:
+    """Checkpoint ``cluster`` into ``directory`` (created if missing).
+
+    Flushes the ingestion pipeline, snapshots every shard into its own file
+    and writes the manifest last.  Returns the manifest path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    snapshots = cluster.shard_snapshots()  # flushes first
+    metadata = cluster.snapshot_metadata()
+    items_routed = metadata.pop("shard_items_routed")
+    shard_entries = []
+    for shard, snapshot in enumerate(snapshots):
+        file_name = f"shard-{shard}.json"
+        _write_atomic(directory / file_name, snapshot)
+        shard_entries.append({"file": file_name, "items_routed": items_routed[shard]})
+    metadata.pop("format_version")
+    metadata.pop("sketch")
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "format_version": MANIFEST_VERSION,
+        **metadata,
+        "shards": shard_entries,
+    }
+    manifest_path = directory / MANIFEST_NAME
+    _write_atomic(manifest_path, manifest)
+    return manifest_path
+
+
+def read_manifest(directory: Union[str, Path]) -> Dict:
+    """Read and validate the manifest of a checkpoint directory."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CheckpointError(f"no {MANIFEST_NAME} in {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"{manifest_path} is not valid JSON: {error}") from None
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise CheckpointError(
+            f"{manifest_path} has format {manifest.get('format')!r}, "
+            f"expected {MANIFEST_FORMAT!r}"
+        )
+    if manifest.get("format_version") != MANIFEST_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {manifest.get('format_version')!r}"
+        )
+    if len(manifest.get("shards", ())) != manifest.get("workers"):
+        raise CheckpointError(
+            f"manifest names {manifest.get('workers')} workers but lists "
+            f"{len(manifest.get('shards', ()))} shard files"
+        )
+    return manifest
+
+
+def load_checkpoint(
+    directory: Union[str, Path], backend: Optional[str] = None
+) -> ShardedSummary:
+    """Restore a :class:`ShardedSummary` from a checkpoint directory.
+
+    ``backend`` optionally re-targets the restored shards onto a different
+    matrix backend.  The restored cluster resumes ingestion exactly where the
+    checkpoint was taken.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    shards = []
+    for entry in manifest["shards"]:
+        shard_path = directory / entry["file"]
+        if not shard_path.exists():
+            raise CheckpointError(f"missing shard snapshot {shard_path}")
+        shards.append(json.loads(shard_path.read_text(encoding="utf-8")))
+    document = {
+        "format_version": MANIFEST_VERSION,
+        "sketch": "sharded-gss",
+        "workers": manifest["workers"],
+        "routing_seed": manifest["routing_seed"],
+        "batch_size": manifest.get("batch_size", 1024),
+        "update_count": manifest.get("update_count", 0),
+        "shard_items_routed": [
+            entry.get("items_routed", 0) for entry in manifest["shards"]
+        ],
+        "inner_spec": manifest["inner_spec"],
+        "shards": shards,
+    }
+    return ShardedSummary.from_dict(document, backend=backend)

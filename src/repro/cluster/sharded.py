@@ -1,0 +1,599 @@
+"""Multi-process sharded ingestion and fan-out queries.
+
+The GSS paper argues the summary supports high-speed streams because updates
+are hash-local; the same property makes it shard cleanly.
+:class:`ShardedSummary` takes the simulated deployment of
+:class:`~repro.core.partitioned.PartitionedGSS` across real process
+boundaries:
+
+* edges are routed to one of ``workers`` shard *processes* by hashing the
+  source node (the same source-cut routing, same hash, as ``PartitionedGSS``
+  — a cluster and a single-process partitioned sketch with equal shard
+  configurations answer every query identically);
+* each worker owns any registry-buildable summary (GSS by default, with its
+  own matrix backend) and ingests through its batched ``update_many`` path;
+* ingestion is pipelined: batches are queued to workers without waiting, a
+  bounded number of batches may be in flight per worker (back-pressure), and
+  every query acts as a per-shard barrier because the pipes are FIFO;
+* queries are capability-gated fan-out: edge / successor / node-out-weight
+  route to the single owning shard, precursor and node-in-weight scatter to
+  every shard and merge the answers;
+* the whole cluster checkpoints through the shards' ``to_dict`` snapshots
+  (see :mod:`repro.cluster.checkpoint`) and restores mid-stream.
+
+The class satisfies the :class:`repro.api.GraphSummary` protocol and is
+registered in the factory as ``"sharded-gss"``, so :class:`StreamSession`,
+the conformance laws, the CLI and the experiment runners drive it unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.cluster.worker import worker_main
+from repro.hashing.hash_functions import hash_key
+from repro.queries.primitives import Capabilities, ShardIngestStats, SummaryShims
+
+__all__ = ["ClusterError", "ShardedSummary", "DEFAULT_ROUTING_SEED"]
+
+#: Default seed of the shard-routing hash; shared with ``PartitionedGSS`` so
+#: the two deployments route identically out of the box.
+DEFAULT_ROUTING_SEED = 97
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+class ClusterError(RuntimeError):
+    """A shard worker failed (build error, query error, or dead process)."""
+
+
+def _pick_context(start_method: Optional[str]):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    # fork starts workers in milliseconds and needs no pickling of the spec;
+    # platforms without it (Windows, some macOS configurations) fall back to
+    # their default (spawn), which works but pays interpreter start-up.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one shard worker process.
+
+    Tracks the number of outstanding replies (every request gets exactly one,
+    in order), the items routed to the shard, and the high-water mark of
+    in-flight batches — the cluster's observable queue-depth metric.
+    """
+
+    def __init__(
+        self,
+        context,
+        spec,
+        worker_id: int,
+        max_pending: int,
+        snapshot=None,
+        snapshot_backend=None,
+    ) -> None:
+        parent_end, child_end = context.Pipe(duplex=True)
+        self.worker_id = worker_id
+        self.max_pending = max_pending
+        self.process = context.Process(
+            target=worker_main,
+            args=(child_end, spec, worker_id, snapshot, snapshot_backend),
+            daemon=True,
+            name=f"repro-shard-{worker_id}",
+        )
+        self.process.start()
+        child_end.close()
+        self.conn = parent_end
+        self.pending = 0
+        self.items_routed = 0
+        self.high_water = 0
+        self.closed = False
+        ready = self._read_reply()  # build handshake
+        if ready != "ready":  # pragma: no cover - defensive
+            raise ClusterError(f"shard worker {worker_id} sent {ready!r} instead of ready")
+
+    # -- low-level protocol --------------------------------------------------
+
+    def _recv(self):
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError) as error:
+            raise ClusterError(
+                f"shard worker {self.worker_id} died (pipe closed): {error!r}"
+            ) from None
+
+    def _read_reply(self):
+        """Read one uncounted reply (the build handshake only)."""
+        kind, payload = self._recv()
+        if kind == "err":
+            raise ClusterError(str(payload))
+        return payload
+
+    def _take_reply(self):
+        """Consume one counted reply; raise on worker errors.
+
+        ``pending`` is decremented *before* the error check: an ``err`` reply
+        is still a reply, and forgetting to count it would leave the handle
+        expecting one more message than the worker will ever send — every
+        later request on the shard would block forever.
+        """
+        kind, payload = self._recv()
+        self.pending -= 1
+        if kind == "err":
+            raise ClusterError(str(payload))
+        return payload
+
+    def send_batch(self, items: List[Tuple[Hashable, Hashable, float]]) -> None:
+        """Queue one batch without waiting for it to be applied.
+
+        Replies already sitting in the pipe are drained opportunistically,
+        and the number of in-flight batches is bounded by ``max_pending`` so
+        a slow shard exerts back-pressure instead of buffering unboundedly.
+        """
+        self.conn.send(("batch", items))
+        self.pending += 1
+        self.items_routed += len(items)
+        if self.pending > self.high_water:
+            self.high_water = self.pending
+        while self.pending and self.conn.poll():
+            self._take_reply()
+        while self.pending > self.max_pending:
+            self._take_reply()
+
+    def send_request(self, message: Tuple) -> None:
+        """Send a request whose reply will be collected later (fan-out)."""
+        self.conn.send(message)
+        self.pending += 1
+
+    def collect(self):
+        """Drain replies until the most recently sent request's arrives.
+
+        Valid because replies come back in request order: once ``pending``
+        reaches zero the reply just read belongs to the last request sent.
+        """
+        payload = None
+        while self.pending:
+            payload = self._take_reply()
+        return payload
+
+    def request(self, message: Tuple):
+        """Round-trip one request (draining queued batch replies first)."""
+        self.send_request(message)
+        return self.collect()
+
+    def drain(self) -> None:
+        """Block until every queued batch has been applied by the worker."""
+        while self.pending:
+            self._take_reply()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.request(("stop",))
+        except ClusterError:
+            pass  # a dead worker is already stopped
+        finally:
+            self.process.join(timeout=5)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.terminate()
+                self.process.join(timeout=5)
+            self.conn.close()
+
+    def kill(self) -> None:
+        """Hard-terminate the worker without flushing (crash simulation)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.process.terminate()
+        self.process.join(timeout=5)
+        self.conn.close()
+
+
+class ShardedSummary(SummaryShims):
+    """A graph-stream summary sharded across worker processes.
+
+    Parameters
+    ----------
+    inner_spec:
+        :class:`~repro.api.registry.SketchSpec` every worker builds its shard
+        from.  The spec must carry sizing (a budget, expected edges, or an
+        explicit size parameter); the registry's ``sharded-gss`` builder does
+        the budget-splitting arithmetic.
+    workers:
+        Number of shard processes.
+    routing_seed:
+        Seed of the source-node routing hash (kept at
+        :data:`DEFAULT_ROUTING_SEED` to match ``PartitionedGSS``).
+    batch_size:
+        Scalar ``update`` calls are coalesced client-side into batches of
+        this size before being queued to a shard.
+    max_pending_batches:
+        Bound on in-flight batches per worker (ingestion back-pressure).
+    start_method:
+        Optional :mod:`multiprocessing` start method override.
+    shard_snapshots / snapshot_backend:
+        Restore path (used by :meth:`from_dict` / checkpoint recovery): one
+        snapshot document per worker, rebuilt inside each worker during the
+        start-up handshake instead of building a fresh sketch.
+
+    Examples
+    --------
+    >>> from repro.api import SketchSpec
+    >>> cluster = ShardedSummary(SketchSpec("gss", memory_bytes=4096), workers=2)
+    >>> cluster.update("a", "b", 2.0)
+    >>> cluster.edge_query("a", "b")
+    2.0
+    >>> cluster.close()
+    """
+
+    def __init__(
+        self,
+        inner_spec,
+        workers: int = 2,
+        *,
+        routing_seed: int = DEFAULT_ROUTING_SEED,
+        batch_size: int = 1024,
+        max_pending_batches: int = 16,
+        start_method: Optional[str] = None,
+        shard_snapshots: Optional[List[Dict]] = None,
+        snapshot_backend: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if max_pending_batches < 1:
+            raise ValueError("max_pending_batches must be at least 1")
+        if shard_snapshots is not None and len(shard_snapshots) != workers:
+            raise ValueError(
+                f"{len(shard_snapshots)} shard snapshots for {workers} workers"
+            )
+        self.inner_spec = inner_spec
+        self.workers = workers
+        self.batch_size = batch_size
+        self._routing_seed = routing_seed
+        self._update_count = 0
+        self._closed = False
+        self._context = _pick_context(start_method)
+        self._handles: List[_WorkerHandle] = []
+        try:
+            for worker_id in range(workers):
+                # On the restore path each worker rebuilds its summary from
+                # its snapshot during the handshake, instead of building a
+                # fresh sketch only to throw it away.
+                self._handles.append(
+                    _WorkerHandle(
+                        self._context,
+                        inner_spec,
+                        worker_id,
+                        max_pending_batches,
+                        snapshot=(
+                            shard_snapshots[worker_id] if shard_snapshots else None
+                        ),
+                        snapshot_backend=snapshot_backend,
+                    )
+                )
+        except Exception:
+            self.close()
+            raise
+        # Client-side coalescing buffers for scalar updates.
+        self._outbox: List[List[Tuple[Hashable, Hashable, float]]] = [
+            [] for _ in range(workers)
+        ]
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_of(self, node: Hashable) -> int:
+        """Index of the shard process that owns the out-edges of ``node``."""
+        return hash_key(node, seed=self._routing_seed) % self.workers
+
+    # -- updates -------------------------------------------------------------
+
+    def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
+        """Route one stream item to its shard (coalesced client-side)."""
+        self._ensure_open()
+        shard = self.shard_of(source)
+        outbox = self._outbox[shard]
+        outbox.append((source, destination, weight))
+        self._update_count += 1
+        if len(outbox) >= self.batch_size:
+            self._handles[shard].send_batch(outbox)
+            self._outbox[shard] = []
+
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Group a batch by owning shard and queue each group without waiting.
+
+        Returns the number of items routed.  The call does *not* wait for the
+        workers to apply the batches — :meth:`flush` (or any query) is the
+        barrier — which is what lets routing and shard ingestion overlap
+        across processes.
+        """
+        self._ensure_open()
+        groups: Dict[int, List[Tuple[Hashable, Hashable, float]]] = {}
+        count = 0
+        for source, destination, weight in items:
+            count += 1
+            groups.setdefault(self.shard_of(source), []).append(
+                (source, destination, weight)
+            )
+        for shard, triples in groups.items():
+            outbox = self._outbox[shard]
+            if outbox:
+                # Preserve stream order within the shard: coalesced scalar
+                # updates queued before this batch must be applied first.
+                outbox.extend(triples)
+                self._handles[shard].send_batch(outbox)
+                self._outbox[shard] = []
+            else:
+                self._handles[shard].send_batch(triples)
+        self._update_count += count
+        return count
+
+    def ingest(self, edges) -> "ShardedSummary":
+        """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
+        self.update_many((edge.source, edge.destination, edge.weight) for edge in edges)
+        return self
+
+    def flush(self) -> None:
+        """Barrier: push client buffers out and wait for every queued batch.
+
+        After ``flush`` returns, every shard has applied every item routed so
+        far — the state a checkpoint snapshots and a throughput measurement
+        must include.
+        """
+        self._ensure_open()
+        self._send_outboxes()
+        for handle in self._handles:
+            handle.drain()
+
+    def _send_outboxes(self, only: Optional[int] = None) -> None:
+        shards = range(self.workers) if only is None else (only,)
+        for shard in shards:
+            if self._outbox[shard]:
+                self._handles[shard].send_batch(self._outbox[shard])
+                self._outbox[shard] = []
+
+    # -- query primitives ----------------------------------------------------
+
+    def _ask_one(self, shard: int, method: str, *args):
+        """Route one query to one shard (pending batches apply first: FIFO)."""
+        self._ensure_open()
+        self._send_outboxes(only=shard)
+        return self._handles[shard].request(("call", method, args))
+
+    def _ask_all(self, method: str, *args) -> List:
+        """Scatter one query to every shard, then gather in shard order."""
+        self._ensure_open()
+        self._send_outboxes()
+        for handle in self._handles:
+            handle.send_request(("call", method, args))
+        return [handle.collect() for handle in self._handles]
+
+    def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
+        """Edge query served by the single shard owning ``source``."""
+        return self._ask_one(self.shard_of(source), "edge_query", source, destination)
+
+    def successor_query(self, node: Hashable) -> Set[Hashable]:
+        """Successor query served by the single shard owning ``node``."""
+        return self._ask_one(self.shard_of(node), "successor_query", node)
+
+    def precursor_query(self, node: Hashable) -> Set[Hashable]:
+        """Precursor query: fans out to every shard and unions the answers."""
+        merged: Set[Hashable] = set()
+        for answer in self._ask_all("precursor_query", node):
+            merged.update(answer)
+        return merged
+
+    def node_out_weight(self, node: Hashable) -> float:
+        """Total out-going weight, served by the owning shard."""
+        return self._ask_one(self.shard_of(node), "node_out_weight", node)
+
+    def node_in_weight(self, node: Hashable) -> float:
+        """Total in-coming weight, gathered from every shard."""
+        return float(sum(self._ask_all("node_in_weight", node)))
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def update_count(self) -> int:
+        """Number of stream items routed into the cluster."""
+        return self._update_count
+
+    def shard_ingest_stats(self) -> ShardIngestStats:
+        """Cumulative per-shard routing stats (see :class:`ShardIngestStats`).
+
+        ``items_routed`` counts every item handed to each shard (including
+        items still sitting in client buffers or worker queues);
+        ``queue_depth_high_water`` is the largest number of batches that were
+        in flight to any single worker at once — the observable measure of
+        routing imbalance and worker lag.
+        """
+        routed = [
+            handle.items_routed + len(self._outbox[shard])
+            for shard, handle in enumerate(self._handles)
+        ]
+        high_water = max((handle.high_water for handle in self._handles), default=0)
+        return ShardIngestStats(items_routed=routed, queue_depth_high_water=high_water)
+
+    def shard_memory_bytes(self) -> List[int]:
+        """Per-shard memory footprint under the paper's C layout."""
+        return [int(value) for value in self._ask_all("memory_bytes")]
+
+    def memory_bytes(self) -> int:
+        """Total memory of all shard summaries (the comparison unit)."""
+        return sum(self.shard_memory_bytes())
+
+    def capabilities(self) -> Capabilities:
+        """Cluster capabilities: the inner sketch's, minus single-sketch-only
+        features (hash-level paths, in-place merging, window expiry)."""
+        from repro.api.registry import sketch_info
+
+        inner = sketch_info(self.inner_spec.sketch).capabilities
+        return Capabilities(
+            edge_queries=inner.edge_queries,
+            successor_queries=inner.successor_queries,
+            precursor_queries=inner.precursor_queries,
+            node_out_weights=inner.node_out_weights,
+            node_in_weights=inner.node_in_weights,
+            deletions=inner.deletions,
+            batched_updates=True,
+            serializable=inner.serializable,
+            mergeable=False,
+            windowed=False,
+            by_hash=False,
+            triangle_estimates=False,
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def shard_snapshots(self) -> List[Dict]:
+        """Snapshot every shard (after a flush) in shard order."""
+        self.flush()
+        self._ensure_open()
+        for handle in self._handles:
+            handle.send_request(("snapshot",))
+        return [handle.collect() for handle in self._handles]
+
+    def snapshot_metadata(self) -> Dict:
+        """The cluster's topology/bookkeeping state, without the shard data.
+
+        The single source of the snapshot fields: :meth:`to_dict` embeds the
+        shard snapshots next to it, and the checkpoint manifest
+        (:mod:`repro.cluster.checkpoint`) stores it alongside per-shard
+        files.
+        """
+        stats = self.shard_ingest_stats()
+        return {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "sketch": "sharded-gss",
+            "workers": self.workers,
+            "routing_seed": self._routing_seed,
+            "batch_size": self.batch_size,
+            "update_count": self._update_count,
+            "shard_items_routed": stats.items_routed,
+            "inner_spec": {
+                "sketch": self.inner_spec.sketch,
+                "memory_bytes": self.inner_spec.memory_bytes,
+                "expected_edges": self.inner_spec.expected_edges,
+                "backend": self.inner_spec.backend,
+                "seed": self.inner_spec.seed,
+                "params": dict(self.inner_spec.params),
+            },
+        }
+
+    def to_dict(self) -> Dict:
+        """One self-contained snapshot document for the whole cluster.
+
+        Embeds every shard's own snapshot plus the routing/bookkeeping state,
+        so :meth:`from_dict` rebuilds a cluster that answers every query
+        identically and continues ingesting from the same stream position.
+        """
+        document = self.snapshot_metadata()
+        document["shards"] = self.shard_snapshots()
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict, backend: Optional[str] = None) -> "ShardedSummary":
+        """Rebuild a cluster from a :meth:`to_dict` document.
+
+        ``backend`` optionally re-targets every shard onto a different matrix
+        backend (threaded through the shards' own ``from_dict``).
+        """
+        from repro.api.registry import SketchSpec
+
+        if document.get("sketch") != "sharded-gss":
+            raise ValueError(
+                f"not a sharded-gss snapshot (sketch={document.get('sketch')!r})"
+            )
+        if document.get("format_version") != SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                "unsupported sharded-gss snapshot version "
+                f"{document.get('format_version')!r}"
+            )
+        shards = document["shards"]
+        if len(shards) != document["workers"]:
+            raise ValueError(
+                f"snapshot names {document['workers']} workers but carries "
+                f"{len(shards)} shard documents"
+            )
+        inner = dict(document["inner_spec"])
+        if backend is not None:
+            inner["backend"] = backend
+        spec = SketchSpec(
+            inner["sketch"],
+            memory_bytes=inner.get("memory_bytes"),
+            expected_edges=inner.get("expected_edges"),
+            backend=inner.get("backend", "python"),
+            seed=inner.get("seed", 0),
+            params=inner.get("params", {}),
+        )
+        cluster = cls(
+            spec,
+            workers=document["workers"],
+            routing_seed=document["routing_seed"],
+            batch_size=document.get("batch_size", 1024),
+            shard_snapshots=shards,
+            snapshot_backend=backend,
+        )
+        cluster._update_count = document.get("update_count", 0)
+        for handle, routed in zip(
+            cluster._handles, document.get("shard_items_routed", [])
+        ):
+            handle.items_routed = routed
+        return cluster
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether the cluster's worker processes have been shut down."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ClusterError("the cluster has been closed")
+
+    def close(self) -> None:
+        """Flush nothing, stop every worker, and release the pipes.
+
+        Pending batches a worker has already received are applied before its
+        ``stop`` request (FIFO), but items still in client buffers are
+        dropped — call :meth:`flush` (or checkpoint) first when the state
+        matters.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            try:
+                handle.stop()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def kill(self) -> None:
+        """Hard-terminate every worker without flushing (crash simulation)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            handle.kill()
+
+    def __enter__(self) -> "ShardedSummary":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,96 @@
+"""The shard worker process of :mod:`repro.cluster`.
+
+Each worker owns one registry-built summary structure (any sketch the
+:mod:`repro.api` factory can build — the default cluster uses GSS shards) and
+serves a tiny message protocol over a :class:`multiprocessing.Pipe`:
+
+=========== =========================== ======================================
+request     payload                     reply payload
+=========== =========================== ======================================
+``batch``   list of update triples      number of items applied
+``call``    (method name, args tuple)   the method's return value
+``snapshot`` —                          the summary's ``to_dict`` document
+``stop``    —                           ``"stopped"`` (worker exits)
+=========== =========================== ======================================
+
+At startup the worker either builds a fresh summary from ``spec`` or — on the
+checkpoint-restore path — restores one directly from a snapshot document, and
+answers the handshake with ``ready``.  Every request gets exactly one reply,
+``("ok", payload)`` or ``("err", traceback text)``, in request order — the
+pipe is FIFO, which is what lets the parent pipeline ``batch`` requests
+without waiting and still know that a ``call`` sent afterwards observes every
+prior batch.  Updates inside a worker go through the summary's own
+``update_many`` fast path (the vectorized NumPy pipeline when the inner spec
+asks for it), so the per-item cost inside a shard is identical to a
+single-process sketch.
+
+The module is import-light on purpose: :mod:`repro.api` is imported inside
+:func:`worker_main` (i.e. in the child process) so that ``repro.cluster`` can
+be imported by the registry without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Optional
+
+
+def worker_main(
+    conn,
+    spec,
+    worker_id: int,
+    snapshot: Optional[Dict] = None,
+    backend: Optional[str] = None,
+) -> None:
+    """Run one shard worker until ``stop`` or a closed pipe.
+
+    ``conn`` is the worker end of a duplex pipe, ``spec`` the
+    :class:`~repro.api.registry.SketchSpec` of this shard's summary and
+    ``worker_id`` the shard index (used only for error messages).  When
+    ``snapshot`` is given the summary is restored from it instead of built
+    from the spec (``backend`` optionally re-targets the restored matrix
+    backend) — the cluster's checkpoint-recovery path.
+    """
+    from repro.api.registry import build, from_dict
+
+    try:
+        if snapshot is not None:
+            summary = from_dict(snapshot, backend=backend)
+        else:
+            summary = build(spec)
+        conn.send(("ok", "ready"))
+    except Exception:
+        _send_error(conn, worker_id, traceback.format_exc())
+        conn.close()
+        return
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            # The parent vanished (hard kill or interpreter exit); there is
+            # nobody left to answer, so the worker just goes away too.
+            break
+        operation = request[0]
+        try:
+            if operation == "stop":
+                conn.send(("ok", "stopped"))
+                break
+            elif operation == "batch":
+                conn.send(("ok", summary.update_many(request[1])))
+            elif operation == "call":
+                method, args = request[1], request[2]
+                conn.send(("ok", getattr(summary, method)(*args)))
+            elif operation == "snapshot":
+                conn.send(("ok", summary.to_dict()))
+            else:
+                _send_error(conn, worker_id, f"unknown request {operation!r}")
+        except Exception:
+            _send_error(conn, worker_id, traceback.format_exc())
+    conn.close()
+
+
+def _send_error(conn, worker_id: int, detail: Any) -> None:
+    try:
+        conn.send(("err", f"shard worker {worker_id}: {detail}"))
+    except (OSError, ValueError):  # pragma: no cover - parent already gone
+        pass

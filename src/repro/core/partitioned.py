@@ -26,7 +26,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 from repro.core.config import GSSConfig
 from repro.core.gss import GSS
 from repro.hashing.hash_functions import hash_key
-from repro.queries.primitives import Capabilities, SummaryShims
+from repro.queries.primitives import Capabilities, ShardIngestStats, SummaryShims
 
 
 class PartitionedGSS(SummaryShims):
@@ -65,6 +65,7 @@ class PartitionedGSS(SummaryShims):
         self._routing_seed = routing_seed
         self._shards: List[GSS] = [GSS(config) for _ in range(partitions)]
         self._update_count = 0
+        self._shard_item_counts: List[int] = [0] * partitions
 
     @classmethod
     def for_total_capacity(
@@ -104,7 +105,9 @@ class PartitionedGSS(SummaryShims):
     def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
         """Route one stream item to the shard owning its source node."""
         self._update_count += 1
-        self._shards[self.shard_of(source)].update(source, destination, weight)
+        shard = self.shard_of(source)
+        self._shard_item_counts[shard] += 1
+        self._shards[shard].update(source, destination, weight)
 
     def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
         """Apply a batch of ``(source, destination, weight)`` stream items.
@@ -121,6 +124,7 @@ class PartitionedGSS(SummaryShims):
                 (source, destination, weight)
             )
         for shard_index, triples in groups.items():
+            self._shard_item_counts[shard_index] += len(triples)
             self._shards[shard_index].update_many(triples)
         self._update_count += count
         return count
@@ -193,12 +197,53 @@ class PartitionedGSS(SummaryShims):
         ]
 
     def load_imbalance(self) -> float:
-        """Max shard load divided by the mean shard load (1.0 = perfectly even)."""
+        """Max shard load divided by the mean shard load (1.0 = perfectly even).
+
+        Safe on an empty deployment and on deployments where some (or all)
+        shards never received an update: an all-zero load vector reports a
+        perfectly even 1.0 instead of dividing by zero.
+        """
         loads = self.shard_loads()
         mean = sum(loads) / len(loads) if loads else 0.0
         if mean == 0:
             return 1.0
         return max(loads) / mean
+
+    def shard_buffer_percentages(self) -> List[float]:
+        """Buffer fraction of each shard, 0.0 for shards that stored nothing.
+
+        The per-shard breakdown of :attr:`buffer_percentage`; zero-update
+        shards report 0.0 rather than dividing by an empty store.
+        """
+        percentages = []
+        for shard in self._shards:
+            stored = shard.matrix_edge_count + shard.buffer_edge_count
+            percentages.append(shard.buffer_edge_count / stored if stored else 0.0)
+        return percentages
+
+    def shard_ingest_stats(self) -> ShardIngestStats:
+        """Items routed per shard (see :class:`ShardIngestStats`).
+
+        The in-process deployment applies every item synchronously, so the
+        queue-depth high-water mark is always 0; the multi-process
+        :class:`~repro.cluster.ShardedSummary` reports the same shape with a
+        real queue depth, which is what lets ``StreamSession`` surface both
+        uniformly.
+        """
+        return ShardIngestStats(
+            items_routed=list(self._shard_item_counts), queue_depth_high_water=0
+        )
+
+    def matrix_memory_bytes(self) -> int:
+        """Combined matrix budget of all shards under the paper's C layout.
+
+        Parity with ``GSS.config.matrix_memory_bytes()`` *totalled over the
+        deployment*: callers doing equal-memory comparisons against a
+        partitioned sketch must use this (or :meth:`memory_bytes`), never the
+        per-shard ``config.matrix_memory_bytes()``, which accounts a single
+        shard only.
+        """
+        return sum(shard.config.matrix_memory_bytes() for shard in self._shards)
 
     def memory_bytes(self, include_node_index: bool = False) -> int:
         """Total memory of all shards under the paper's C layout."""

@@ -61,6 +61,9 @@ class ExperimentConfig:
     seed: int = 20190419
     backend: str = "python"
     extra_sketches: Sequence[str] = ()
+    #: Worker-process count for the ``sharded-gss`` cluster rows (CLI
+    #: ``--workers``); 0 disables them.
+    workers: int = 0
     extras: dict = field(default_factory=dict)
 
     @classmethod

@@ -20,6 +20,12 @@ from repro.metrics.throughput import (
 )
 
 
+def _close_if_closeable(store: object) -> None:
+    close = getattr(store, "close", None)
+    if callable(close):
+        close()
+
+
 def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentResult:
     """Reproduce Table I: relative update throughput of the structures.
 
@@ -77,6 +83,33 @@ def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentRe
                 AdjacencyListGraph, edges, label="Adjacency Lists", repeats=repeats
             ),
         }
+        if config.workers:
+            # Multi-process cluster row at the reference GSS's memory: same
+            # total sketch capacity, sharded over worker processes.  The
+            # timed region includes the flush barrier (see
+            # measure_batch_update_throughput) and each repeat tears its
+            # worker processes down untimed.
+            def make_cluster():
+                return config.build_sketch(
+                    "sharded-gss",
+                    reference.config.matrix_memory_bytes(),
+                    workers=config.workers,
+                    fingerprint_bits=fingerprint_bits,
+                    rooms=config.rooms,
+                    sequence_length=config.sequence_length,
+                    candidate_buckets=config.candidate_buckets,
+                    batch_size=batch_size,
+                )
+
+            cluster_label = f"sharded-gss(workers={config.workers})"
+            measurements[cluster_label] = measure_batch_update_throughput(
+                make_cluster,
+                edges,
+                label=cluster_label,
+                repeats=repeats,
+                batch_size=batch_size,
+                teardown=_close_if_closeable,
+            )
         for extra_name in config.extra_sketches:
             # --sketch rows: any registered structure, granted the same
             # memory as the reference GSS (the comparison invariant).
@@ -87,7 +120,14 @@ def run_update_speed_experiment(config: ExperimentConfig = None) -> ExperimentRe
 
             label = f"{extra_name}(equal memory)"
             measurements[label] = measure_update_throughput(
-                make_extra, edges, label=label, repeats=repeats
+                make_extra,
+                edges,
+                label=label,
+                repeats=repeats,
+                # Sketches owning external resources (the sharded-gss
+                # cluster's worker processes) are released per repeat instead
+                # of lingering until garbage collection.
+                teardown=_close_if_closeable,
             )
         tcm_rate = measurements["TCM"].items_per_second
         for label, measurement in measurements.items():

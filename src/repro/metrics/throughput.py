@@ -11,7 +11,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
+
+
+def _barrier(store: object) -> None:
+    """Wait for any pipelined ingestion to complete (inside the timed region).
+
+    Summaries that queue work to background workers (the
+    :mod:`repro.cluster` deployment) expose ``flush()``; timing must include
+    it or the measurement would cover routing only, not the sketch work.
+    No-op for synchronous stores.
+    """
+    flush = getattr(store, "flush", None)
+    if callable(flush):
+        flush()
 
 
 @dataclass(frozen=True)
@@ -40,13 +53,16 @@ def measure_update_throughput(
     edges: Sequence,
     label: str = "",
     repeats: int = 1,
+    teardown: Optional[Callable[[object], None]] = None,
 ) -> Throughput:
     """Time how fast a freshly built store ingests ``edges``.
 
     ``make_store`` builds a new empty store each repeat so that repeated runs
     measure the same cold-start insertion workload the paper uses ("in each
     data set we insert all the edges ... repeat this procedure ... and
-    calculate the average speed").
+    calculate the average speed").  ``teardown`` runs on each store after its
+    (fully flushed) measurement — outside the timed region — so stores owning
+    external resources (cluster worker processes) release them per repeat.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -56,7 +72,10 @@ def measure_update_throughput(
         started = time.perf_counter()
         for edge in edges:
             store.update(edge.source, edge.destination, edge.weight)
+        _barrier(store)
         total_seconds += time.perf_counter() - started
+        if teardown is not None:
+            teardown(store)
     return Throughput(label=label, items=len(edges) * repeats, seconds=total_seconds)
 
 
@@ -66,13 +85,17 @@ def measure_batch_update_throughput(
     label: str = "",
     repeats: int = 1,
     batch_size: int = 1024,
+    teardown: Optional[Callable[[object], None]] = None,
 ) -> Throughput:
     """Time how fast a store ingests ``edges`` through its ``update_many`` API.
 
     The edge list is converted to ``(source, destination, weight)`` triples
     outside the timed region (that conversion is stream I/O, not sketch
     work), then fed in ``batch_size`` chunks so the comparison against
-    :func:`measure_update_throughput` isolates the batching win.
+    :func:`measure_update_throughput` isolates the batching win.  The timed
+    region ends with the store's ``flush()`` barrier (when it has one), so
+    pipelined multi-process stores are charged for the sketch work, not just
+    the routing; ``teardown`` releases per-repeat resources untimed.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -85,7 +108,10 @@ def measure_batch_update_throughput(
         started = time.perf_counter()
         for start in range(0, len(triples), batch_size):
             store.update_many(triples[start:start + batch_size])
+        _barrier(store)
         total_seconds += time.perf_counter() - started
+        if teardown is not None:
+            teardown(store)
     return Throughput(label=label, items=len(triples) * repeats, seconds=total_seconds)
 
 

@@ -31,8 +31,8 @@ API re-exports them.
 from __future__ import annotations
 
 import warnings
-from dataclasses import asdict, dataclass
-from typing import Dict, Hashable, Iterable, Optional, Protocol, Set, Tuple, runtime_checkable
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Set, Tuple, runtime_checkable
 
 #: Sentinel returned by the deprecated sentinel edge queries when the edge is
 #: not present (the paper's convention).
@@ -103,6 +103,45 @@ class Capabilities:
     def topology_queries(self) -> bool:
         """Whether 1-hop neighbourhood queries work in both directions."""
         return self.successor_queries and self.precursor_queries
+
+
+@dataclass(frozen=True)
+class ShardIngestStats:
+    """Per-shard ingestion stats of a sharded deployment.
+
+    Reported by summaries that route items across shards — the in-process
+    :class:`~repro.core.partitioned.PartitionedGSS` and the multi-process
+    :class:`~repro.cluster.ShardedSummary` — through their
+    ``shard_ingest_stats()`` method, and surfaced per feed by
+    :class:`repro.api.StreamSession` so routing imbalance is observable from
+    the facade.  Defined here (not in ``repro.cluster``) so core modules can
+    report it without depending on the cluster package.
+    """
+
+    #: Stream items routed to each shard, in shard order (cumulative).
+    items_routed: List[int] = field(default_factory=list)
+    #: Largest number of batches that were in flight to any single worker at
+    #: once.  Always 0 for synchronous in-process sharding.
+    queue_depth_high_water: int = 0
+
+    @property
+    def total_items(self) -> int:
+        """Items routed across all shards."""
+        return sum(self.items_routed)
+
+    @property
+    def routing_imbalance(self) -> float:
+        """Max items routed to one shard over the mean (1.0 = perfectly even).
+
+        Returns 1.0 for an empty cluster instead of dividing by zero, the
+        same convention as ``PartitionedGSS.load_imbalance``.
+        """
+        if not self.items_routed:
+            return 1.0
+        mean = self.total_items / len(self.items_routed)
+        if mean == 0:
+            return 1.0
+        return max(self.items_routed) / mean
 
 
 class SummaryShims:

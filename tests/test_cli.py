@@ -75,6 +75,42 @@ class TestBackendFlag:
             assert "TCM(update_many)" in output
 
 
+class TestWorkersFlag:
+    def test_default_is_no_cluster_row(self):
+        config = config_from_args(build_parser().parse_args(["tab1"]))
+        assert config.workers == 0
+
+    def test_workers_flag_threads_into_config(self):
+        config = config_from_args(build_parser().parse_args(["tab1", "--workers", "2"]))
+        assert config.workers == 2
+
+    def test_workers_must_be_positive(self):
+        args = build_parser().parse_args(["tab1", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            config_from_args(args)
+
+    def test_tab1_grows_cluster_row(self, capsys):
+        assert main(["tab1", "--quick", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded-gss(workers=2)" in out
+
+    def test_json_records_workers(self, tmp_path, capsys):
+        target = tmp_path / "tab1.json"
+        assert main(
+            ["tab1", "--quick", "--workers", "2", "--json", str(target)]
+        ) == 0
+        import json
+
+        document = json.loads(target.read_text())
+        assert document["workers"] == 2
+        structures = {
+            row["structure"]
+            for experiment in document["experiments"]
+            for row in experiment["rows"]
+        }
+        assert "sharded-gss(workers=2)" in structures
+
+
 class TestJsonOutput:
     def test_json_written_to_file(self, tmp_path, capsys):
         import json

@@ -1,0 +1,270 @@
+"""Tests for :mod:`repro.cluster`: multi-process sharded ingestion/queries.
+
+The load-bearing law is *deployment equivalence*: a ``ShardedSummary`` and a
+single-process ``PartitionedGSS`` with the same shard count, shard
+configuration and routing seed answer every query identically on the same
+stream — crossing process boundaries changes throughput, never answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    SketchSpec,
+    StreamSession,
+    build,
+    from_dict,
+    sketch_info,
+)
+from repro.cluster import ClusterError, ShardedSummary
+from repro.core.config import GSSConfig
+from repro.core.partitioned import PartitionedGSS
+
+#: Shard parameters shared by the cluster and the in-process reference.
+SHARD_PARAMS = dict(matrix_width=24, sequence_length=4, candidate_buckets=4)
+
+
+def inner_spec(**overrides) -> SketchSpec:
+    return SketchSpec("gss", params={**SHARD_PARAMS, **overrides})
+
+
+def shard_config() -> GSSConfig:
+    return GSSConfig(**SHARD_PARAMS)
+
+
+@pytest.fixture()
+def cluster():
+    summary = ShardedSummary(inner_spec(), workers=2)
+    yield summary
+    summary.close()
+
+
+class TestConstruction:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ShardedSummary(inner_spec(), workers=0)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            ShardedSummary(inner_spec(), workers=1, batch_size=0)
+
+    def test_unsized_inner_spec_fails_the_build_handshake(self):
+        with pytest.raises(ClusterError, match="SpecSizingError"):
+            ShardedSummary(SketchSpec("gss"), workers=1)
+
+    def test_registry_build_and_capabilities(self):
+        with build("sharded-gss", memory_bytes=32 * 1024, params={"workers": 2}) as summary:
+            assert isinstance(summary, ShardedSummary)
+            assert summary.workers == 2
+            assert summary.capabilities() == sketch_info("sharded-gss").capabilities
+
+    def test_registry_splits_the_memory_budget_across_workers(self):
+        budget = 64 * 1024
+        with build("sharded-gss", memory_bytes=budget, params={"workers": 4}) as summary:
+            per_shard = summary.shard_memory_bytes()
+            assert len(per_shard) == 4
+            assert len(set(per_shard)) == 1  # equal shards
+            assert budget / 2 <= summary.memory_bytes() <= budget
+
+    def test_registry_rejects_unknown_params(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            build("sharded-gss", memory_bytes=4096, params={"shards": 3})
+
+    def test_context_manager_closes(self):
+        with ShardedSummary(inner_spec(), workers=1) as summary:
+            summary.update("a", "b")
+        assert summary.closed
+        with pytest.raises(ClusterError, match="closed"):
+            summary.edge_query("a", "b")
+
+    def test_close_is_idempotent(self, cluster):
+        cluster.close()
+        cluster.close()
+        assert cluster.closed
+
+
+class TestUpdatesAndQueries:
+    def test_scalar_updates_visible_to_queries(self, cluster):
+        cluster.update("a", "b", 2.0)
+        cluster.update("a", "b", 1.0)
+        assert cluster.edge_query("a", "b") == 3.0
+        assert cluster.edge_query("ghost", "nothing") is None
+
+    def test_update_many_returns_count_and_accepts_generators(self, cluster):
+        count = cluster.update_many(
+            (f"s{i % 3}", f"d{i % 5}", 1.0) for i in range(40)
+        )
+        assert count == 40
+        assert cluster.update_count == 40
+
+    def test_scalar_and_batched_ingestion_agree(self):
+        items = [(f"n{i % 7}", f"n{(i * 3 + 1) % 9}", float(1 + i % 3)) for i in range(120)]
+        with ShardedSummary(inner_spec(), workers=2, batch_size=16) as scalar:
+            for source, destination, weight in items:
+                scalar.update(source, destination, weight)
+            with ShardedSummary(inner_spec(), workers=2) as batched:
+                batched.update_many(items)
+                for source, destination, _ in items:
+                    assert scalar.edge_query(source, destination) == batched.edge_query(
+                        source, destination
+                    )
+
+    def test_interleaved_scalar_and_batch_preserve_shard_order(self, cluster):
+        # Scalar updates coalesce client-side; a following update_many must
+        # not overtake them inside a shard (deletions make order observable
+        # at the weight level only, but the invariant matters for windowed
+        # inner sketches and is cheap to hold).
+        cluster.update("a", "b", 5.0)
+        cluster.update_many([("a", "b", -3.0)])
+        assert cluster.edge_query("a", "b") == 2.0
+
+    def test_flush_is_a_barrier(self, cluster):
+        cluster.update_many([(f"s{i}", f"d{i}", 1.0) for i in range(50)])
+        cluster.flush()
+        stats = cluster.shard_ingest_stats()
+        assert stats.total_items == 50
+
+    def test_worker_exception_propagates_as_cluster_error(self):
+        spec = inner_spec(keep_node_index=False)
+        with ShardedSummary(spec, workers=1) as summary:
+            summary.update("a", "b")
+            # GSS without a node index refuses original-ID neighbor queries;
+            # the worker's traceback must surface in the parent.
+            with pytest.raises(ClusterError, match="keep_node_index"):
+                summary.successor_query("a")
+
+    def test_shard_stays_usable_after_a_worker_error(self):
+        # Regression: an "err" reply must still be counted against the
+        # pending-reply counter, or the next request on the shard would wait
+        # for a reply the worker already sent and hang forever.
+        spec = inner_spec(keep_node_index=False)
+        with ShardedSummary(spec, workers=1) as summary:
+            summary.update("a", "b", 2.0)
+            with pytest.raises(ClusterError):
+                summary.successor_query("a")
+            assert summary.edge_query("a", "b") == 2.0
+            with pytest.raises(ClusterError):
+                summary.precursor_query("a")
+            summary.update("a", "c", 1.0)
+            summary.flush()
+            assert summary.edge_query("a", "c") == 1.0
+
+    def test_deletions_route_like_insertions(self, cluster):
+        cluster.update("x", "y", 5.0)
+        cluster.update("x", "y", -2.0)
+        assert cluster.edge_query("x", "y") == 3.0
+
+
+class TestPartitionedEquivalence:
+    """Cluster answers == single-process PartitionedGSS answers, always."""
+
+    @pytest.fixture()
+    def fed_pair(self, small_stream):
+        reference = PartitionedGSS(shard_config(), partitions=3, routing_seed=97)
+        summary = ShardedSummary(inner_spec(), workers=3, routing_seed=97)
+        items = [(e.source, e.destination, e.weight) for e in small_stream]
+        reference.update_many(items)
+        summary.update_many(items)
+        yield reference, summary, small_stream
+        summary.close()
+
+    def test_edge_queries_identical(self, fed_pair):
+        reference, summary, stream = fed_pair
+        for key in list(stream.aggregate_weights())[:150]:
+            assert summary.edge_query(*key) == reference.edge_query(*key)
+        assert summary.edge_query("ghost", "nothing") is None
+
+    def test_topology_queries_identical(self, fed_pair):
+        reference, summary, stream = fed_pair
+        for node in stream.nodes()[:60]:
+            assert summary.successor_query(node) == reference.successor_query(node)
+            assert summary.precursor_query(node) == reference.precursor_query(node)
+
+    def test_node_weights_identical(self, fed_pair):
+        reference, summary, stream = fed_pair
+        for node in stream.nodes()[:40]:
+            assert summary.node_out_weight(node) == pytest.approx(
+                reference.node_out_weight(node)
+            )
+            assert summary.node_in_weight(node) == pytest.approx(
+                reference.node_in_weight(node)
+            )
+
+    def test_same_routing_hash_as_partitioned(self, fed_pair):
+        reference, summary, stream = fed_pair
+        for node in stream.nodes()[:60]:
+            assert summary.shard_of(node) == reference.shard_of(node)
+
+
+class TestIngestStats:
+    def test_items_routed_cover_every_item(self, cluster):
+        cluster.update_many([(f"s{i % 11}", f"d{i}", 1.0) for i in range(200)])
+        stats = cluster.shard_ingest_stats()
+        assert len(stats.items_routed) == 2
+        assert stats.total_items == 200
+        assert stats.routing_imbalance >= 1.0
+        assert stats.queue_depth_high_water >= 1
+
+    def test_empty_cluster_stats_do_not_divide_by_zero(self, cluster):
+        stats = cluster.shard_ingest_stats()
+        assert stats.items_routed == [0, 0]
+        assert stats.routing_imbalance == 1.0
+        assert stats.queue_depth_high_water == 0
+
+
+class TestSerialization:
+    def test_to_dict_from_dict_round_trip(self, cluster):
+        items = [(f"n{i % 9}", f"n{(i * 5 + 2) % 9}", float(1 + i % 2)) for i in range(80)]
+        cluster.update_many(items)
+        document = cluster.to_dict()
+        assert document["sketch"] == "sharded-gss"
+        restored = from_dict(document)  # registry dispatch on the tag
+        try:
+            assert restored.update_count == cluster.update_count
+            assert restored.shard_ingest_stats().items_routed == (
+                cluster.shard_ingest_stats().items_routed
+            )
+            for source, destination, _ in items:
+                assert restored.edge_query(source, destination) == cluster.edge_query(
+                    source, destination
+                )
+        finally:
+            restored.close()
+
+    def test_from_dict_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="not a sharded-gss snapshot"):
+            ShardedSummary.from_dict({"sketch": "gss"})
+
+    def test_from_dict_rejects_shard_count_mismatch(self, cluster):
+        document = cluster.to_dict()
+        document["shards"] = document["shards"][:1]
+        with pytest.raises(ValueError, match="shard documents"):
+            ShardedSummary.from_dict(document)
+
+
+class TestStreamSessionIntegration:
+    def test_session_feeds_cluster_and_surfaces_shard_stats(self, small_stream):
+        with build(
+            "sharded-gss",
+            expected_edges=max(1, small_stream.statistics().distinct_edges),
+            params={"workers": 2},
+        ) as summary:
+            report = StreamSession(summary, batch_size=128).feed(small_stream)
+            assert report.items == len(small_stream)
+            assert sum(report.shard_items) == len(small_stream)
+            assert report.queue_depth_high_water >= 1
+            assert report.routing_imbalance >= 1.0
+            # The session's trailing flush() barrier means every item has
+            # been applied by the time the report exists.
+            assert summary.shard_ingest_stats().total_items == len(small_stream)
+
+    def test_session_auto_sizes_cluster_spec_from_stream(self, small_stream):
+        session = StreamSession(SketchSpec("sharded-gss", params={"workers": 2}))
+        session.feed(small_stream)
+        try:
+            truth = small_stream.aggregate_weights()
+            for key, weight in list(truth.items())[:50]:
+                assert session.summary.edge_query(*key) >= weight
+        finally:
+            session.summary.close()

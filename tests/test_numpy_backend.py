@@ -211,6 +211,61 @@ class TestCrossBackendRoundTrips:
 
 
 @requires_numpy
+class TestMixedBackendMergeProperty:
+    """``merge_sketches`` over one NumPy-backend and one Python-backend GSS
+    must agree with a single reference sketch that saw the whole stream.
+
+    The distributed story of :mod:`repro.core.merge` (and the
+    :mod:`repro.cluster` deployment built on the same snapshots) only holds
+    if merging is backend-oblivious — including streams with deletions,
+    collisions (tiny fingerprints) and buffer overflow (tiny matrices).
+    """
+
+    @given(items=streams, split=st.integers(min_value=0, max_value=80), config=configs)
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_backend_merge_matches_single_sketch(self, items, split, config):
+        split = min(split, len(items))
+        batch = named(items)
+        python_part = GSS(replace(config, backend="python"))
+        python_part.update_many(batch[:split])
+        numpy_part = GSS(replace(config, backend="numpy"))
+        numpy_part.update_many(batch[split:])
+
+        merged = merge_sketches([python_part, numpy_part])
+
+        reference = GSS(replace(config, backend="python"))
+        reference.update_many(batch)
+
+        keys = {(source, destination) for source, destination, _ in batch}
+        for key in sorted(keys):
+            assert merged.edge_query(*key) == reference.edge_query(*key)
+        nodes = {source for source, _, _ in batch} | {
+            destination for _, destination, _ in batch
+        }
+        for node in sorted(nodes):
+            assert merged.successor_hashes(node) == reference.successor_hashes(node)
+            assert merged.precursor_hashes(node) == reference.precursor_hashes(node)
+            assert merged.node_out_weight(node) == pytest.approx(
+                reference.node_out_weight(node)
+            )
+
+    @given(items=streams, config=configs)
+    @settings(max_examples=20, deadline=None)
+    def test_merge_order_is_immaterial_across_backends(self, items, config):
+        batch = named(items)
+        half = len(batch) // 2
+        python_part = GSS(replace(config, backend="python"))
+        python_part.update_many(batch[:half])
+        numpy_part = GSS(replace(config, backend="numpy"))
+        numpy_part.update_many(batch[half:])
+        forward = merge_sketches([python_part, numpy_part])
+        backward = merge_sketches([numpy_part, python_part])
+        keys = {(source, destination) for source, destination, _ in batch}
+        for key in sorted(keys):
+            assert forward.edge_query(*key) == backward.edge_query(*key)
+
+
+@requires_numpy
 class TestWrappersOnNumpyBackend:
     def test_windowed_wrapper(self):
         items = [(f"n{i % 7}", f"n{(i * 2) % 7}", 1.0, float(i)) for i in range(50)]

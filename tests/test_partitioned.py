@@ -129,3 +129,71 @@ class TestLoadAndMerge:
         sharded = make_partitioned(partitions=2, width=40)
         consume_stream(sharded, small_stream)
         assert 0.0 <= sharded.buffer_percentage <= 1.0
+
+
+class TestZeroUpdateShardStats:
+    """Stats must be well-defined when some (or all) shards saw no updates."""
+
+    def test_all_stats_safe_on_a_fresh_deployment(self):
+        sharded = make_partitioned(partitions=4)
+        assert sharded.load_imbalance() == 1.0
+        assert sharded.buffer_percentage == 0.0
+        assert sharded.shard_buffer_percentages() == [0.0, 0.0, 0.0, 0.0]
+        stats = sharded.shard_ingest_stats()
+        assert stats.items_routed == [0, 0, 0, 0]
+        assert stats.routing_imbalance == 1.0
+        assert stats.total_items == 0
+
+    def test_single_routed_shard_leaves_others_at_zero(self):
+        sharded = make_partitioned(partitions=4)
+        sharded.update("only-source", "a")
+        sharded.update("only-source", "b")
+        stats = sharded.shard_ingest_stats()
+        assert stats.total_items == 2
+        assert sorted(stats.items_routed) == [0, 0, 0, 2]
+        # The zero-update shards must not break any derived ratio.
+        assert stats.routing_imbalance == pytest.approx(4.0)
+        assert sharded.load_imbalance() >= 1.0
+        percentages = sharded.shard_buffer_percentages()
+        assert len(percentages) == 4
+        assert all(0.0 <= pct <= 1.0 for pct in percentages)
+
+    def test_items_routed_tracks_both_update_paths(self, small_stream):
+        sharded = make_partitioned(partitions=3, width=40)
+        half = len(small_stream) // 2
+        for edge in small_stream[:half]:
+            sharded.update(edge.source, edge.destination, edge.weight)
+        sharded.update_many(
+            (edge.source, edge.destination, edge.weight)
+            for edge in small_stream[half:]
+        )
+        stats = sharded.shard_ingest_stats()
+        assert stats.total_items == len(small_stream) == sharded.update_count
+        assert stats.queue_depth_high_water == 0  # synchronous deployment
+
+
+class TestMemoryParity:
+    def test_matrix_memory_bytes_totals_the_deployment(self):
+        sharded = make_partitioned(partitions=3)
+        assert sharded.matrix_memory_bytes() == sum(
+            shard.config.matrix_memory_bytes() for shard in sharded.shards
+        )
+        # The per-shard config accounts one shard only; the deployment-level
+        # accessor is what equal-memory comparisons must use.
+        assert sharded.matrix_memory_bytes() == 3 * sharded.config.matrix_memory_bytes()
+
+    def test_factory_budget_lands_near_the_requested_bytes(self):
+        from repro.api import build
+
+        budget = 64 * 1024
+        sharded = build("partitioned-gss", memory_bytes=budget, params={"partitions": 4})
+        assert budget / 2 <= sharded.memory_bytes() <= budget
+        assert budget / 2 <= sharded.matrix_memory_bytes() <= budget
+
+    def test_memory_bytes_include_node_index_parity_with_gss(self):
+        sharded = make_partitioned(partitions=2)
+        sharded.update("a", "b")
+        with_index = sharded.memory_bytes(include_node_index=True)
+        without = sharded.memory_bytes()
+        assert with_index >= without
+        assert without == sum(shard.memory_bytes() for shard in sharded.shards)

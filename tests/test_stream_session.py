@@ -122,6 +122,50 @@ class TestMetricsAndProgress:
             StreamSession(build("gss", memory_bytes=1024), batch_size=0)
 
 
+class TestShardStats:
+    def test_unsharded_summaries_report_no_shard_stats(self):
+        session = StreamSession(build("gss", memory_bytes=8192))
+        report = session.feed(small_stream())
+        assert report.shard_items is None
+        assert report.queue_depth_high_water is None
+        assert report.routing_imbalance is None
+        assert session.stats.shard_items is None
+
+    def test_partitioned_feed_surfaces_items_per_shard(self):
+        summary = build(
+            "partitioned-gss", memory_bytes=16384, params={"partitions": 4}
+        )
+        session = StreamSession(summary, batch_size=32)
+        report = session.feed(small_stream())
+        assert len(report.shard_items) == 4
+        assert sum(report.shard_items) == 100
+        assert report.queue_depth_high_water == 0  # synchronous sharding
+        assert report.routing_imbalance >= 1.0
+
+    def test_shard_items_are_per_feed_deltas_and_totals_accumulate(self):
+        summary = build(
+            "partitioned-gss", memory_bytes=16384, params={"partitions": 2}
+        )
+        session = StreamSession(summary, batch_size=50)
+        first = session.feed(small_stream())
+        second = session.feed(small_stream())
+        # Identical streams route identically, so each feed reports its own
+        # 100 items while the session totals both.
+        assert sum(first.shard_items) == sum(second.shard_items) == 100
+        assert first.shard_items == second.shard_items
+        assert session.stats.shard_items == [
+            a + b for a, b in zip(first.shard_items, second.shard_items)
+        ]
+
+    def test_empty_feed_reports_zero_routing_without_dividing(self):
+        summary = build(
+            "partitioned-gss", memory_bytes=16384, params={"partitions": 3}
+        )
+        report = StreamSession(summary).feed([])
+        assert report.shard_items == [0, 0, 0]
+        assert report.routing_imbalance == 1.0
+
+
 class TestFailFastSpecs:
     def test_invalid_param_fails_at_construction(self):
         with pytest.raises(ValueError, match="accepted:"):
