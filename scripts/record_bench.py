@@ -14,7 +14,12 @@ Usage::
     PYTHONPATH=src python scripts/record_bench.py --quick         # smoke
     PYTHONPATH=src python scripts/record_bench.py --repeats 3     # steadier numbers
     PYTHONPATH=src python scripts/record_bench.py --workers 4     # + cluster row
+    PYTHONPATH=src python scripts/record_bench.py --workers 2 --transport shm
     PYTHONPATH=src python scripts/record_bench.py --out BENCH_tab1.json
+
+With ``--workers`` the run also records ``sharded_speedup_vs_update_many``
+and — when both data planes were measured — ``transport_speedup_shm_vs_pipe``
+(shared-memory ring vs pickled pipe, same worker count and stream).
 """
 
 from __future__ import annotations
@@ -50,6 +55,10 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--workers", type=int, default=0,
                         help="also measure a multi-process sharded-gss cluster "
                              "row with this many worker processes (default 0 = off)")
+    parser.add_argument("--transport", choices=["auto", "shm", "pipe"], default="auto",
+                        help="data-plane transport of the cluster row; also "
+                             "records a pipe-vs-shm comparison when not 'pipe' "
+                             "(default auto)")
     parser.add_argument("--label", default=None,
                         help="free-form label stored with the run (e.g. the PR number)")
     return parser.parse_args(argv)
@@ -66,6 +75,10 @@ def build_config(args: argparse.Namespace, backend: str) -> ExperimentConfig:
         config.extras["speed_repeats"] = args.repeats
     if args.workers:
         config.workers = args.workers
+        config.transport = args.transport
+        # Measure both data planes head to head unless pipes were forced.
+        if args.transport != "pipe":
+            config.extras["transport_compare"] = True
     return config
 
 
@@ -90,11 +103,19 @@ def main(argv=None) -> int:
         "numpy_available": NUMPY_AVAILABLE,
         "repeats": args.repeats,
         "workers": args.workers,
+        "transport": args.transport,
         "cpu_count": os.cpu_count(),
         "results": {},
     }
+    main_cluster_label = (
+        f"sharded-gss(workers={args.workers})"
+        if args.transport == "auto"
+        else f"sharded-gss(workers={args.workers},transport={args.transport})"
+    )
+    pipe_cluster_label = f"sharded-gss(workers={args.workers},transport=pipe)"
     rates = {}
     sharded_rates = {}
+    pipe_rates = {}
     for backend in backends:
         config = build_config(args, backend)
         print(f"== running tab1 on backend={backend} ==", flush=True)
@@ -104,9 +125,8 @@ def main(argv=None) -> int:
         run_entry["results"][backend] = results_to_document([result], config)
         rates[backend] = update_many_rates(result.rows)
         if args.workers:
-            sharded_rates[backend] = structure_rates(
-                result.rows, f"sharded-gss(workers={args.workers})"
-            )
+            sharded_rates[backend] = structure_rates(result.rows, main_cluster_label)
+            pipe_rates[backend] = structure_rates(result.rows, pipe_cluster_label)
     if args.workers:
         # Cluster ingest vs the single-process batched path, per backend: the
         # multi-core speedup the repro.cluster subsystem is after.  On a
@@ -123,9 +143,32 @@ def main(argv=None) -> int:
         for backend, speedups in run_entry["sharded_speedup_vs_update_many"].items():
             for dataset, speedup in speedups.items():
                 print(
-                    f"sharded-gss(workers={args.workers}) vs GSS(update_many) "
+                    f"{main_cluster_label} vs GSS(update_many) "
                     f"on {dataset} [{backend}]: {speedup:.2f}x"
                 )
+        # Shared-memory ring vs pickled-pipe data plane (same workers, same
+        # stream); present whenever both transports were measured.
+        transport_speedups = {} if args.transport == "pipe" else {
+            backend: {
+                dataset: sharded_rates[backend][dataset] / rate
+                for dataset, rate in pipe_rates.get(backend, {}).items()
+                if rate and sharded_rates[backend].get(dataset)
+            }
+            for backend in sharded_rates
+        }
+        transport_speedups = {
+            backend: speedups
+            for backend, speedups in transport_speedups.items()
+            if speedups
+        }
+        if transport_speedups:
+            run_entry["transport_speedup_shm_vs_pipe"] = transport_speedups
+            for backend, speedups in transport_speedups.items():
+                for dataset, speedup in speedups.items():
+                    print(
+                        f"shm vs pipe transport on {dataset} [{backend}]: "
+                        f"{speedup:.2f}x"
+                    )
     if "numpy" in rates:
         speedups = {
             dataset: rates["numpy"][dataset] / rates["python"][dataset]

@@ -12,19 +12,25 @@ dataset analog, size a sketch for it, feed the stream through the batched
   weight)`` triples, or a registered dataset by name;
 * auto-sizes a spec without explicit sizing from the stream's statistics
   (``expected_edges`` = the stream's distinct edge count);
-* chunks through ``update_many`` when the summary has one (scalar fallback
-  otherwise), preserves timestamps for windowed summaries, and reports
-  items/batches/seconds/throughput, optionally through a progress hook.
+* chunks every feed through :class:`~repro.streaming.batch.HashedBatch`:
+  summaries exposing the hashed ingest protocol (``update_many_hashed`` +
+  ``hash_spec``) receive columnar batches whose node/routing hashes were
+  computed exactly once at the session boundary; everything else receives
+  the same normalized batches through ``update_many`` (or a scalar loop),
+  with timestamps preserved for windowed summaries;
+* reports items/batches/seconds/throughput, optionally through a progress
+  hook.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Union
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Union
 
 from repro.api.protocol import GraphSummary
 from repro.api.registry import SketchSpec, SpecSizingError, build
+from repro.streaming.batch import HashedBatch, HashSpec
 
 __all__ = ["IngestReport", "StreamSession"]
 
@@ -119,6 +125,10 @@ class StreamSession:
         else:
             self._summary = summary
         self._total = IngestReport()
+        # Cross-batch hash memos threaded through HashedBatch.from_items so a
+        # key seen in an earlier chunk (or feed) is never hashed again.
+        self._node_memo: Dict[Hashable, int] = {}
+        self._route_memo: Dict[Hashable, int] = {}
 
     # -- summary access ------------------------------------------------------
 
@@ -183,6 +193,16 @@ class StreamSession:
         capabilities = getattr(summary, "capabilities", None)
         windowed = bool(capabilities and capabilities().windowed)
         update_many = getattr(summary, "update_many", None)
+        # Summaries speaking the hashed ingest protocol publish their hash
+        # spec; the session then hashes each chunk exactly once at this
+        # boundary and the columns flow through routing into the matrix
+        # backends.  Windowed summaries route by timestamp, which the hashed
+        # path does not model — they take the normalized-batch path.
+        update_many_hashed = getattr(summary, "update_many_hashed", None)
+        spec_of = getattr(summary, "hash_spec", None)
+        hash_spec: Optional[HashSpec] = None
+        if not windowed and callable(update_many_hashed) and callable(spec_of):
+            hash_spec = spec_of()
         # Sharded deployments report per-shard routing; snapshot the counters
         # so this feed's delta can be attributed to it.
         shard_stats = getattr(summary, "shard_ingest_stats", None)
@@ -191,13 +211,25 @@ class StreamSession:
         report = IngestReport()
         started = time.perf_counter()
 
-        def flush(batch) -> None:
-            if update_many is not None:
-                update_many(batch)
+        def flush(raw_chunk) -> None:
+            # One normalization/hashing pass for every ingest tier: hashed
+            # consumers get the columns, batched consumers get the normalized
+            # items, scalar summaries get a star-unpacked loop (so a windowed
+            # summary's timestamp — the optional fourth element — reaches
+            # update() instead of being dropped).
+            batch = HashedBatch.from_items(
+                raw_chunk,
+                hash_spec,
+                node_memo=self._node_memo,
+                route_memo=self._route_memo,
+                keep_timestamps=windowed,
+            )
+            if hash_spec is not None:
+                update_many_hashed(batch)
+            elif update_many is not None:
+                update_many(batch.items())
             else:
-                # Star-unpack so a windowed summary's timestamp (the optional
-                # fourth element) reaches update() instead of being dropped.
-                for item in batch:
+                for item in batch.items():
                     summary.update(*item)
             report.items += len(batch)
             report.batches += 1
@@ -206,21 +238,7 @@ class StreamSession:
 
         batch = []
         for item in source:
-            if hasattr(item, "source"):
-                if windowed:
-                    # Edge-like objects without a timestamp fall back to the
-                    # windowed summary's implicit one-unit-per-item clock.
-                    triple = (
-                        item.source,
-                        item.destination,
-                        item.weight,
-                        getattr(item, "timestamp", None),
-                    )
-                else:
-                    triple = (item.source, item.destination, item.weight)
-            else:
-                triple = item
-            batch.append(triple)
+            batch.append(item)
             if len(batch) >= self.batch_size:
                 flush(batch)
                 batch = []

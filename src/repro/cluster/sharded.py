@@ -11,7 +11,11 @@ boundaries:
   — a cluster and a single-process partitioned sketch with equal shard
   configurations answer every query identically);
 * each worker owns any registry-buildable summary (GSS by default, with its
-  own matrix backend) and ingests through its batched ``update_many`` path;
+  own matrix backend); when the worker's summary exposes a hashed ingest path
+  the client hashes every batch exactly once (node + routing hashes, see
+  :class:`~repro.streaming.batch.HashedBatch`) and ships the precomputed
+  columns — over a per-worker shared-memory ring on the ``shm`` transport,
+  or pickled through the pipe (see :mod:`repro.cluster.transport`);
 * ingestion is pipelined: batches are queued to workers without waiting, a
   bounded number of batches may be in flight per worker (back-pressure), and
   every query acts as a per-shard barrier because the pipes are FIFO;
@@ -29,11 +33,19 @@ the conformance laws, the CLI and the experiment runners drive it unchanged.
 from __future__ import annotations
 
 import multiprocessing
+from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
+from repro.cluster.transport import (
+    DEFAULT_RING_BYTES,
+    RingAllocator,
+    encode_hashed_batch,
+    resolve_transport,
+)
 from repro.cluster.worker import worker_main
 from repro.hashing.hash_functions import hash_key
 from repro.queries.primitives import Capabilities, ShardIngestStats, SummaryShims
+from repro.streaming.batch import HashedBatch, HashSpec
 
 __all__ = ["ClusterError", "ShardedSummary", "DEFAULT_ROUTING_SEED"]
 
@@ -64,7 +76,11 @@ class _WorkerHandle:
 
     Tracks the number of outstanding replies (every request gets exactly one,
     in order), the items routed to the shard, and the high-water mark of
-    in-flight batches — the cluster's observable queue-depth metric.
+    in-flight batches — the cluster's observable queue-depth metric.  On the
+    ``shm`` transport the handle also owns the worker's shared-memory ring:
+    batches are written into ring segments whose reservations are queued
+    alongside the pending replies and freed — strictly FIFO — as each batch
+    acknowledgement is consumed.
     """
 
     def __init__(
@@ -75,26 +91,59 @@ class _WorkerHandle:
         max_pending: int,
         snapshot=None,
         snapshot_backend=None,
+        transport: str = "pipe",
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         parent_end, child_end = context.Pipe(duplex=True)
         self.worker_id = worker_id
         self.max_pending = max_pending
+        self.shm = None
+        self._ring: Optional[RingAllocator] = None
+        if transport == "shm":
+            from multiprocessing import shared_memory
+
+            self.shm = shared_memory.SharedMemory(create=True, size=ring_bytes)
+            self._ring = RingAllocator(ring_bytes)
         self.process = context.Process(
             target=worker_main,
-            args=(child_end, spec, worker_id, snapshot, snapshot_backend),
+            args=(
+                child_end,
+                spec,
+                worker_id,
+                snapshot,
+                snapshot_backend,
+                self.shm.name if self.shm is not None else None,
+            ),
             daemon=True,
             name=f"repro-shard-{worker_id}",
         )
-        self.process.start()
+        try:
+            self.process.start()
+        except Exception:
+            self._release_shm()
+            raise
         child_end.close()
         self.conn = parent_end
         self.pending = 0
         self.items_routed = 0
         self.high_water = 0
         self.closed = False
-        ready = self._read_reply()  # build handshake
-        if ready != "ready":  # pragma: no cover - defensive
-            raise ClusterError(f"shard worker {worker_id} sent {ready!r} instead of ready")
+        #: One entry per outstanding reply, FIFO: the ring reservation to
+        #: free when that reply is consumed, or ``None`` for non-shm traffic.
+        self._reservations: deque = deque()
+        self.info: Dict = {}
+        try:
+            ready = self._read_reply()  # build handshake
+        except ClusterError:
+            self._release_shm()
+            raise
+        if isinstance(ready, tuple) and ready and ready[0] == "ready":
+            self.info = ready[1] if len(ready) > 1 else {}
+        elif ready != "ready":  # pragma: no cover - defensive
+            self._release_shm()
+            raise ClusterError(
+                f"shard worker {worker_id} sent {ready!r} instead of ready"
+            )
 
     # -- low-level protocol --------------------------------------------------
 
@@ -116,27 +165,33 @@ class _WorkerHandle:
     def _take_reply(self):
         """Consume one counted reply; raise on worker errors.
 
-        ``pending`` is decremented *before* the error check: an ``err`` reply
-        is still a reply, and forgetting to count it would leave the handle
-        expecting one more message than the worker will ever send — every
-        later request on the shard would block forever.
+        ``pending`` is decremented — and the reply's ring reservation freed —
+        *before* the error check: an ``err`` reply is still a reply, and
+        forgetting to count it would leave the handle expecting one more
+        message than the worker will ever send — every later request on the
+        shard would block forever.
         """
         kind, payload = self._recv()
         self.pending -= 1
+        if self._reservations:
+            reservation = self._reservations.popleft()
+            if reservation is not None:
+                self._ring.free(reservation)
         if kind == "err":
             raise ClusterError(str(payload))
         return payload
 
-    def send_batch(self, items: List[Tuple[Hashable, Hashable, float]]) -> None:
-        """Queue one batch without waiting for it to be applied.
+    def _post(self, message: Tuple, item_count: int, reservation=None) -> None:
+        """Queue one data-plane message without waiting for it to be applied.
 
         Replies already sitting in the pipe are drained opportunistically,
         and the number of in-flight batches is bounded by ``max_pending`` so
         a slow shard exerts back-pressure instead of buffering unboundedly.
         """
-        self.conn.send(("batch", items))
+        self.conn.send(message)
         self.pending += 1
-        self.items_routed += len(items)
+        self._reservations.append(reservation)
+        self.items_routed += item_count
         if self.pending > self.high_water:
             self.high_water = self.pending
         while self.pending and self.conn.poll():
@@ -144,10 +199,39 @@ class _WorkerHandle:
         while self.pending > self.max_pending:
             self._take_reply()
 
+    def send_batch(self, items: List[Tuple[Hashable, Hashable, float]]) -> None:
+        """Queue one plain triple batch (summaries without hashed ingest)."""
+        self._post(("batch", items), len(items))
+
+    def send_hashed(self, batch: HashedBatch) -> None:
+        """Queue one routed :class:`HashedBatch` through the data plane.
+
+        ``shm`` transport: the encoded batch goes into the ring; when the
+        ring is full, pending acknowledgements are drained (freeing segments
+        FIFO) until it fits.  A batch that cannot fit even in an empty ring
+        — or pipe transport — travels pickled through the control pipe
+        (``hbatch``); both forms are applied identically by the worker.
+        """
+        if self._ring is not None:
+            payload = encode_hashed_batch(batch)
+            allocated = self._ring.alloc(len(payload))
+            while allocated is None and self.pending:
+                self._take_reply()
+                allocated = self._ring.alloc(len(payload))
+            if allocated is not None:
+                offset, reservation = allocated
+                self.shm.buf[offset : offset + len(payload)] = payload
+                self._post(
+                    ("shmbatch", offset, len(payload)), len(batch), reservation
+                )
+                return
+        self._post(("hbatch", batch), len(batch))
+
     def send_request(self, message: Tuple) -> None:
         """Send a request whose reply will be collected later (fan-out)."""
         self.conn.send(message)
         self.pending += 1
+        self._reservations.append(None)
 
     def collect(self):
         """Drain replies until the most recently sent request's arrives.
@@ -172,6 +256,17 @@ class _WorkerHandle:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _release_shm(self) -> None:
+        """Close and unlink the ring segment (owner side); idempotent."""
+        if self.shm is None:
+            return
+        shm, self.shm = self.shm, None
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, BufferError, OSError):  # pragma: no cover
+            pass
+
     def stop(self) -> None:
         if self.closed:
             return
@@ -186,6 +281,7 @@ class _WorkerHandle:
                 self.process.terminate()
                 self.process.join(timeout=5)
             self.conn.close()
+            self._release_shm()
 
     def kill(self) -> None:
         """Hard-terminate the worker without flushing (crash simulation)."""
@@ -195,6 +291,7 @@ class _WorkerHandle:
         self.process.terminate()
         self.process.join(timeout=5)
         self.conn.close()
+        self._release_shm()
 
 
 class ShardedSummary(SummaryShims):
@@ -217,6 +314,15 @@ class ShardedSummary(SummaryShims):
         this size before being queued to a shard.
     max_pending_batches:
         Bound on in-flight batches per worker (ingestion back-pressure).
+    transport:
+        Data-plane transport for routed batches (see
+        :mod:`repro.cluster.transport`): ``"shm"`` ships hash columns
+        through per-worker shared-memory rings, ``"pipe"`` pickles batches
+        through the control pipes, ``"auto"`` (default) picks ``shm`` when
+        NumPy and ``multiprocessing.shared_memory`` are available.  The
+        choice never changes answers, only speed.
+    ring_bytes:
+        Capacity of each worker's shared-memory ring (``shm`` only).
     start_method:
         Optional :mod:`multiprocessing` start method override.
     shard_snapshots / snapshot_backend:
@@ -242,6 +348,8 @@ class ShardedSummary(SummaryShims):
         routing_seed: int = DEFAULT_ROUTING_SEED,
         batch_size: int = 1024,
         max_pending_batches: int = 16,
+        transport: str = "auto",
+        ring_bytes: int = DEFAULT_RING_BYTES,
         start_method: Optional[str] = None,
         shard_snapshots: Optional[List[Dict]] = None,
         snapshot_backend: Optional[str] = None,
@@ -262,6 +370,7 @@ class ShardedSummary(SummaryShims):
         self._routing_seed = routing_seed
         self._update_count = 0
         self._closed = False
+        self._transport = resolve_transport(transport)
         self._context = _pick_context(start_method)
         self._handles: List[_WorkerHandle] = []
         try:
@@ -279,11 +388,29 @@ class ShardedSummary(SummaryShims):
                             shard_snapshots[worker_id] if shard_snapshots else None
                         ),
                         snapshot_backend=snapshot_backend,
+                        transport=self._transport,
+                        ring_bytes=ring_bytes,
                     )
                 )
         except Exception:
             self.close()
             raise
+        # The workers report their summary's hash spec in the build
+        # handshake; when present, the client hashes every batch exactly
+        # once (node + routing hashes, vectorized when NumPy is available)
+        # and ships the columns — the hash-once ingest pipeline.  Summaries
+        # without a hashed ingest path fall back to plain triple batches
+        # (and the shm ring, useless without hash columns, is ignored).
+        self._shard_spec: Optional[HashSpec] = self._handles[0].info.get("hash_spec")
+        self._client_spec: Optional[HashSpec] = (
+            self._shard_spec.with_routing(routing_seed)
+            if self._shard_spec is not None
+            else None
+        )
+        if self._shard_spec is None:
+            self._transport = "pipe"
+        self._node_memo: Dict[Hashable, int] = {}
+        self._route_memo: Dict[Hashable, int] = {}
         # Client-side coalescing buffers for scalar updates.
         self._outbox: List[List[Tuple[Hashable, Hashable, float]]] = [
             [] for _ in range(workers)
@@ -295,6 +422,20 @@ class ShardedSummary(SummaryShims):
         """Index of the shard process that owns the out-edges of ``node``."""
         return hash_key(node, seed=self._routing_seed) % self.workers
 
+    @property
+    def transport(self) -> str:
+        """The effective data-plane transport (``"shm"`` or ``"pipe"``)."""
+        return self._transport
+
+    def hash_spec(self) -> Optional[HashSpec]:
+        """Shard node-hash family plus this cluster's routing seed.
+
+        ``None`` when the workers' summary type has no hashed ingest path —
+        callers (``StreamSession``) then feed plain batches instead of
+        prehashed ones.
+        """
+        return self._client_spec
+
     # -- updates -------------------------------------------------------------
 
     def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
@@ -305,18 +446,71 @@ class ShardedSummary(SummaryShims):
         outbox.append((source, destination, weight))
         self._update_count += 1
         if len(outbox) >= self.batch_size:
-            self._handles[shard].send_batch(outbox)
+            self._dispatch(shard, outbox)
             self._outbox[shard] = []
 
     def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
-        """Group a batch by owning shard and queue each group without waiting.
+        """Hash a batch once, split it by shard, and queue each group.
 
         Returns the number of items routed.  The call does *not* wait for the
         workers to apply the batches — :meth:`flush` (or any query) is the
         barrier — which is what lets routing and shard ingestion overlap
-        across processes.
+        across processes.  When the workers reported a hash spec, the items
+        become one :class:`~repro.streaming.batch.HashedBatch` (node and
+        routing hashes computed once, vectorized when NumPy is available)
+        whose shard sub-batches carry their hash columns all the way into
+        the workers' matrix backends.
         """
         self._ensure_open()
+        if self._client_spec is None:
+            return self._update_many_plain(items)
+        return self.update_many_hashed(
+            HashedBatch.from_items(
+                items,
+                self._client_spec,
+                node_memo=self._node_memo,
+                route_memo=self._route_memo,
+            )
+        )
+
+    def update_many_hashed(self, batch: HashedBatch) -> int:
+        """Route a prepared :class:`HashedBatch` to its owning shard workers.
+
+        A batch built under a different hash family (or without routing
+        hashes) is re-hashed once here; a matching batch — e.g. one built by
+        ``StreamSession`` against :meth:`hash_spec` — flows through with no
+        additional hash work.
+        """
+        self._ensure_open()
+        if self._client_spec is None:
+            return self._update_many_plain(batch.items())
+        if (
+            not batch.hashed
+            or batch.spec is None
+            or not batch.spec.matches(self._client_spec)
+            or batch.spec.routing_seed != self._routing_seed
+            or batch.route_hashes is None
+        ):
+            batch = HashedBatch.from_items(
+                batch.items(),
+                self._client_spec,
+                node_memo=self._node_memo,
+                route_memo=self._route_memo,
+            )
+        count = 0
+        for shard, sub_batch in batch.split_by_route(self.workers):
+            if self._outbox[shard]:
+                # Preserve stream order within the shard: coalesced scalar
+                # updates queued before this batch must be applied first.
+                self._dispatch(shard, self._outbox[shard])
+                self._outbox[shard] = []
+            self._handles[shard].send_hashed(sub_batch)
+            count += len(sub_batch)
+        self._update_count += count
+        return count
+
+    def _update_many_plain(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Scalar-routing fallback for workers without a hashed ingest path."""
         groups: Dict[int, List[Tuple[Hashable, Hashable, float]]] = {}
         count = 0
         for source, destination, weight in items:
@@ -327,8 +521,6 @@ class ShardedSummary(SummaryShims):
         for shard, triples in groups.items():
             outbox = self._outbox[shard]
             if outbox:
-                # Preserve stream order within the shard: coalesced scalar
-                # updates queued before this batch must be applied first.
                 outbox.extend(triples)
                 self._handles[shard].send_batch(outbox)
                 self._outbox[shard] = []
@@ -336,6 +528,21 @@ class ShardedSummary(SummaryShims):
                 self._handles[shard].send_batch(triples)
         self._update_count += count
         return count
+
+    def _dispatch(self, shard: int, triples: List[Tuple[Hashable, Hashable, float]]) -> None:
+        """Ship already-routed triples to one shard through the data plane.
+
+        Built under the workers' own spec (no routing seed): the triples are
+        already grouped by shard, so only node hashes are needed.
+        """
+        if self._shard_spec is not None:
+            self._handles[shard].send_hashed(
+                HashedBatch.from_items(
+                    triples, self._shard_spec, node_memo=self._node_memo
+                )
+            )
+        else:
+            self._handles[shard].send_batch(triples)
 
     def ingest(self, edges) -> "ShardedSummary":
         """Feed an iterable of :class:`~repro.streaming.edge.StreamEdge`."""
@@ -358,7 +565,7 @@ class ShardedSummary(SummaryShims):
         shards = range(self.workers) if only is None else (only,)
         for shard in shards:
             if self._outbox[shard]:
-                self._handles[shard].send_batch(self._outbox[shard])
+                self._dispatch(shard, self._outbox[shard])
                 self._outbox[shard] = []
 
     # -- query primitives ----------------------------------------------------

@@ -4,25 +4,31 @@ Each worker owns one registry-built summary structure (any sketch the
 :mod:`repro.api` factory can build — the default cluster uses GSS shards) and
 serves a tiny message protocol over a :class:`multiprocessing.Pipe`:
 
-=========== =========================== ======================================
-request     payload                     reply payload
-=========== =========================== ======================================
-``batch``   list of update triples      number of items applied
-``call``    (method name, args tuple)   the method's return value
-``snapshot`` —                          the summary's ``to_dict`` document
-``stop``    —                           ``"stopped"`` (worker exits)
-=========== =========================== ======================================
+============ ============================== ==================================
+request      payload                        reply payload
+============ ============================== ==================================
+``batch``    list of update triples         number of items applied
+``hbatch``   a pickled ``HashedBatch``      number of items applied
+``shmbatch`` (offset, nbytes) into the      number of items applied
+             shared-memory ring
+``call``     (method name, args tuple)      the method's return value
+``snapshot`` —                              the summary's ``to_dict`` document
+``stop``     —                              ``"stopped"`` (worker exits)
+============ ============================== ==================================
 
 At startup the worker either builds a fresh summary from ``spec`` or — on the
-checkpoint-restore path — restores one directly from a snapshot document, and
-answers the handshake with ``ready``.  Every request gets exactly one reply,
-``("ok", payload)`` or ``("err", traceback text)``, in request order — the
-pipe is FIFO, which is what lets the parent pipeline ``batch`` requests
-without waiting and still know that a ``call`` sent afterwards observes every
-prior batch.  Updates inside a worker go through the summary's own
-``update_many`` fast path (the vectorized NumPy pipeline when the inner spec
-asks for it), so the per-item cost inside a shard is identical to a
-single-process sketch.
+checkpoint-restore path — restores one directly from a snapshot document,
+attaches the client's shared-memory ring when one is named, and answers the
+handshake with ``("ready", info)`` where ``info`` reports the summary's
+:meth:`hash_spec` (or ``None`` when the summary has no hashed ingest path) —
+that is how the client discovers whether it may ship precomputed hash
+columns.  Every request gets exactly one reply, ``("ok", payload)`` or
+``("err", traceback text)``, in request order — the pipe is FIFO, which is
+what lets the parent pipeline batch requests without waiting and still know
+that a ``call`` sent afterwards observes every prior batch.  It is also what
+makes ``shmbatch`` safe: the client frees a ring segment only after consuming
+its acknowledgement, and the worker replies only after fully ingesting the
+segment, so the zero-copy column views never outlive their bytes.
 
 The module is import-light on purpose: :mod:`repro.api` is imported inside
 :func:`worker_main` (i.e. in the child process) so that ``repro.cluster`` can
@@ -35,12 +41,20 @@ import traceback
 from typing import Any, Dict, Optional
 
 
+def _ingest(summary, hashed_ingest, batch) -> int:
+    """Feed one HashedBatch through the summary's best available path."""
+    if hashed_ingest is not None:
+        return hashed_ingest(batch)
+    return summary.update_many(batch.items())
+
+
 def worker_main(
     conn,
     spec,
     worker_id: int,
     snapshot: Optional[Dict] = None,
     backend: Optional[str] = None,
+    shm_name: Optional[str] = None,
 ) -> None:
     """Run one shard worker until ``stop`` or a closed pipe.
 
@@ -49,16 +63,30 @@ def worker_main(
     ``worker_id`` the shard index (used only for error messages).  When
     ``snapshot`` is given the summary is restored from it instead of built
     from the spec (``backend`` optionally re-targets the restored matrix
-    backend) — the cluster's checkpoint-recovery path.
+    backend) — the cluster's checkpoint-recovery path.  ``shm_name`` names
+    the client's shared-memory ring for the ``shmbatch`` data plane; the
+    worker attaches without adopting ownership (the client unlinks it).
     """
     from repro.api.registry import build, from_dict
 
+    shm = None
     try:
         if snapshot is not None:
             summary = from_dict(snapshot, backend=backend)
         else:
             summary = build(spec)
-        conn.send(("ok", "ready"))
+        hash_spec = None
+        hashed_ingest = getattr(summary, "update_many_hashed", None)
+        spec_of = getattr(summary, "hash_spec", None)
+        if callable(hashed_ingest) and callable(spec_of):
+            hash_spec = spec_of()
+        else:
+            hashed_ingest = None
+        if shm_name is not None:
+            from repro.cluster.transport import attach_shared_memory
+
+            shm = attach_shared_memory(shm_name)
+        conn.send(("ok", ("ready", {"hash_spec": hash_spec})))
     except Exception:
         _send_error(conn, worker_id, traceback.format_exc())
         conn.close()
@@ -77,6 +105,19 @@ def worker_main(
                 break
             elif operation == "batch":
                 conn.send(("ok", summary.update_many(request[1])))
+            elif operation == "hbatch":
+                conn.send(("ok", _ingest(summary, hashed_ingest, request[1])))
+            elif operation == "shmbatch":
+                from repro.cluster.transport import decode_hashed_batch
+
+                batch = decode_hashed_batch(
+                    shm.buf, request[1], request[2], hash_spec
+                )
+                applied = _ingest(summary, hashed_ingest, batch)
+                # Drop the zero-copy column views before acknowledging: the
+                # client may reuse the segment as soon as it sees the reply.
+                del batch
+                conn.send(("ok", applied))
             elif operation == "call":
                 method, args = request[1], request[2]
                 conn.send(("ok", getattr(summary, method)(*args)))
@@ -86,6 +127,11 @@ def worker_main(
                 _send_error(conn, worker_id, f"unknown request {operation!r}")
         except Exception:
             _send_error(conn, worker_id, traceback.format_exc())
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - lingering column view
+            pass
     conn.close()
 
 

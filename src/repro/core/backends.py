@@ -255,6 +255,26 @@ class PythonMatrixBackend:
             self.insert_edge(source_hash, destination_hash, weight)
         return count
 
+    def ingest_hashed(self, batch) -> int:
+        """Ingest a :class:`~repro.streaming.batch.HashedBatch`'s hash columns.
+
+        The hash-once path: no hashing happens here — the batch's
+        precomputed columns run through the same aggregate-then-insert loop
+        as :meth:`update_many_by_hash`, so placement is identical to every
+        other ingest route.  The node index is the sketch's business.
+        """
+        aggregated: Dict[Tuple[int, int], float] = {}
+        count = 0
+        for source_hash, destination_hash, weight in zip(
+            batch.source_hash_list(), batch.destination_hash_list(), batch.weight_list()
+        ):
+            count += 1
+            key = (source_hash, destination_hash)
+            aggregated[key] = aggregated.get(key, 0.0) + weight
+        for (source_hash, destination_hash), weight in aggregated.items():
+            self.insert_edge(source_hash, destination_hash, weight)
+        return count
+
     # -- queries -----------------------------------------------------------
 
     def matrix_edge_weight(self, source_hash: int, destination_hash: int) -> Optional[float]:
@@ -727,6 +747,28 @@ class NumpyMatrixBackend:
         source_hashes = np.fromiter(sources, dtype=np.uint64, count=count)
         destination_hashes = np.fromiter(destinations, dtype=np.uint64, count=count)
         weight_array = np.asarray(weights, dtype=np.float64)
+        if self._packed_keys:
+            self._ingest_keys(
+                source_hashes * np.uint64(self._hash_range) + destination_hashes,
+                weight_array,
+            )
+        else:
+            self._ingest_hash_pairs(source_hashes, destination_hashes, weight_array)
+        return count
+
+    def ingest_hashed(self, batch) -> int:
+        """Ingest a :class:`~repro.streaming.batch.HashedBatch`'s hash columns.
+
+        The columns are consumed as arrays directly (zero-copy when the batch
+        was built on the vectorized path); placement runs through the exact
+        machinery of :meth:`update_many_by_hash`.
+        """
+        count = len(batch)
+        if count == 0:
+            return 0
+        source_hashes = np.asarray(batch.source_hashes, dtype=np.uint64)
+        destination_hashes = np.asarray(batch.destination_hashes, dtype=np.uint64)
+        weight_array = np.asarray(batch.weights, dtype=np.float64)
         if self._packed_keys:
             self._ingest_keys(
                 source_hashes * np.uint64(self._hash_range) + destination_hashes,

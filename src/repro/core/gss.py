@@ -238,6 +238,43 @@ class GSS(SummaryShims):
         self._update_count += count
         return count
 
+    def hash_spec(self) -> "HashSpec":
+        """The hash function family this sketch places edges under.
+
+        Batches built under a matching spec (see
+        :meth:`~repro.streaming.batch.HashSpec.matches`) can be ingested via
+        :meth:`update_many_hashed` without any re-hashing — the contract that
+        lets routing layers and remote transports hash once at the system
+        edge.
+        """
+        from repro.streaming.batch import HashSpec
+
+        return HashSpec(seed=self.config.seed, hash_range=self.config.hash_range)
+
+    def update_many_hashed(self, batch: "HashedBatch") -> int:
+        """Ingest a :class:`~repro.streaming.batch.HashedBatch` directly.
+
+        The batch's precomputed node-hash columns feed the matrix backend
+        with no further hashing; original keys are recorded in the reverse
+        node index (they also serve buffer spill, which stores hashes the
+        batch already carries).  A batch built without hash columns — or
+        under a different :class:`HashSpec` — falls back to :meth:`update_many`
+        over its normalized items, so the method is safe for any batch.
+
+        Returns the number of stream items applied.
+        """
+        if not batch.hashed or batch.spec is None or not batch.spec.matches(
+            self.hash_spec()
+        ):
+            return self.update_many(batch.items())
+        if self._node_index is not None:
+            record = self._node_index.record
+            for node, node_hash in batch.node_hash_items():
+                record(node, node_hash)
+        count = self._matrix.ingest_hashed(batch)
+        self._update_count += count
+        return count
+
     def _insert_sketch_edge(
         self, source_hash: int, destination_hash: int, weight: float
     ) -> None:

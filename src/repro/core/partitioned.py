@@ -27,6 +27,7 @@ from repro.core.config import GSSConfig
 from repro.core.gss import GSS
 from repro.hashing.hash_functions import hash_key
 from repro.queries.primitives import Capabilities, ShardIngestStats, SummaryShims
+from repro.streaming.batch import HashedBatch, HashSpec
 
 
 class PartitionedGSS(SummaryShims):
@@ -66,6 +67,10 @@ class PartitionedGSS(SummaryShims):
         self._shards: List[GSS] = [GSS(config) for _ in range(partitions)]
         self._update_count = 0
         self._shard_item_counts: List[int] = [0] * partitions
+        # Cross-batch hash memos threaded through HashedBatch.from_items so a
+        # key seen in an earlier batch is never hashed again.
+        self._node_memo: Dict[Hashable, int] = {}
+        self._route_memo: Dict[Hashable, int] = {}
 
     @classmethod
     def for_total_capacity(
@@ -109,23 +114,63 @@ class PartitionedGSS(SummaryShims):
         self._shard_item_counts[shard] += 1
         self._shards[shard].update(source, destination, weight)
 
+    def hash_spec(self) -> HashSpec:
+        """Shard node-hash family plus this deployment's routing seed.
+
+        Batches built under this spec carry both the sketch node hashes the
+        shards place by and the routing hashes :meth:`update_many_hashed`
+        splits on — each computed exactly once at batch-build time.
+        """
+        return HashSpec(
+            seed=self.config.seed,
+            hash_range=self.config.hash_range,
+            routing_seed=self._routing_seed,
+        )
+
     def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
         """Apply a batch of ``(source, destination, weight)`` stream items.
 
-        Items are grouped by owning shard first, so every shard ingests its
-        share through the batched :meth:`~repro.core.gss.GSS.update_many` fast
-        path.  Returns the number of items applied.
+        The items become one :class:`~repro.streaming.batch.HashedBatch`
+        (node and routing hashes computed once, vectorized when NumPy is
+        available), which is group-split by routing hash and fed to each
+        owning shard's hashed ingest path — no per-edge hashing or Python
+        routing loop.  Returns the number of items applied.
         """
-        groups: Dict[int, List[Tuple[Hashable, Hashable, float]]] = {}
-        count = 0
-        for source, destination, weight in items:
-            count += 1
-            groups.setdefault(self.shard_of(source), []).append(
-                (source, destination, weight)
+        return self.update_many_hashed(
+            HashedBatch.from_items(
+                items,
+                self.hash_spec(),
+                node_memo=self._node_memo,
+                route_memo=self._route_memo,
             )
-        for shard_index, triples in groups.items():
-            self._shard_item_counts[shard_index] += len(triples)
-            self._shards[shard_index].update_many(triples)
+        )
+
+    def update_many_hashed(self, batch: HashedBatch) -> int:
+        """Route a prepared :class:`HashedBatch` to its owning shards.
+
+        A batch built under a different hash family (or without routing
+        hashes) is re-hashed once here; a matching batch flows through with
+        zero additional hash work.
+        """
+        spec = self.hash_spec()
+        if (
+            not batch.hashed
+            or batch.spec is None
+            or not batch.spec.matches(spec)
+            or batch.spec.routing_seed != self._routing_seed
+            or batch.route_hashes is None
+        ):
+            batch = HashedBatch.from_items(
+                batch.items(),
+                spec,
+                node_memo=self._node_memo,
+                route_memo=self._route_memo,
+            )
+        count = 0
+        for shard_index, sub_batch in batch.split_by_route(self.partitions):
+            self._shard_item_counts[shard_index] += len(sub_batch)
+            self._shards[shard_index].update_many_hashed(sub_batch)
+            count += len(sub_batch)
         self._update_count += count
         return count
 

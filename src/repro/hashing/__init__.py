@@ -18,7 +18,9 @@ versions of every primitive for the vectorized matrix backend.
 
 from repro.hashing.hash_functions import (
     HASH_VERSION,
+    HashCounter,
     NodeHasher,
+    count_key_hashes,
     fingerprint_of,
     hash_bytes,
     hash_key,
@@ -35,8 +37,10 @@ from repro.hashing.vectorized import NUMPY_AVAILABLE
 
 __all__ = [
     "HASH_VERSION",
+    "HashCounter",
     "NUMPY_AVAILABLE",
     "NodeHasher",
+    "count_key_hashes",
     "fingerprint_of",
     "hash_bytes",
     "hash_key",

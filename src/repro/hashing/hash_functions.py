@@ -14,12 +14,60 @@ seeding the mixer, which is how TCM builds several independent sketches.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Hashable, Tuple
+from typing import Hashable, Iterator, Optional, Tuple
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class HashCounter:
+    """Counts key-hash computations while a :func:`count_key_hashes` block runs.
+
+    One increment per *key actually mixed through the hash function* — scalar
+    calls add 1, the vectorized batch primitives add the batch length.  Memo
+    hits, hash splits and address-sequence arithmetic do not count: the
+    counter exists so tests can prove the ingest pipeline hashes every key
+    exactly once end-to-end (the "hash-once" invariant).
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.count += amount
+
+
+#: The active counter, or ``None`` (the common case: zero-cost fast path).
+_active_counter: Optional[HashCounter] = None
+
+
+@contextmanager
+def count_key_hashes() -> Iterator[HashCounter]:
+    """Context manager instrumenting every key-hash computation in the block.
+
+    Counts both the scalar :func:`hash_key` family and the vectorized batch
+    primitives in :mod:`repro.hashing.vectorized` (which report whole-batch
+    lengths).  Nesting restores the previous counter on exit.
+    """
+    global _active_counter
+    counter = HashCounter()
+    previous = _active_counter
+    _active_counter = counter
+    try:
+        yield counter
+    finally:
+        _active_counter = previous
+
+
+def _count_hashes(amount: int) -> None:
+    """Credit ``amount`` key hashes to the active counter, if any."""
+    if _active_counter is not None:
+        _active_counter.count += amount
 
 #: Version of the deterministic hash mapping.  Bump whenever the value that
 #: ``hash_key`` assigns to any input changes, because persisted sketches store
@@ -47,6 +95,7 @@ def hash_bytes(data: bytes, seed: int = 0) -> int:
     perturbs the initial state so that distinct seeds behave like independent
     hash functions.
     """
+    _count_hashes(1)
     state = (_FNV_OFFSET ^ _splitmix64(seed)) & _MASK64
     for byte in data:
         state ^= byte
@@ -66,6 +115,7 @@ def hash_key(key: Hashable, seed: int = 0) -> int:
     if isinstance(key, bytes):
         return hash_bytes(key, seed)
     if isinstance(key, int):
+        _count_hashes(1)
         return _splitmix64((key & _MASK64) ^ _splitmix64(seed ^ 0xA5A5A5A5))
     return hash_string(repr(key), seed)
 

@@ -34,6 +34,7 @@ from repro.hashing.hash_functions import (
     _FNV_OFFSET,
     _FNV_PRIME,
     _MASK64,
+    _count_hashes,
     _splitmix64,
     hash_key,
 )
@@ -91,6 +92,7 @@ def hash_bytes_array(keys: Sequence[bytes], seed: int = 0) -> "np.ndarray":
     """
     load_numpy()
     count = len(keys)
+    _count_hashes(count)
     initial = (_FNV_OFFSET ^ _splitmix64(seed)) & _MASK64
     state = np.full(count, initial, dtype=np.uint64)
     if count == 0:
@@ -143,6 +145,7 @@ def hash_ints_array(keys: Sequence[int], seed: int = 0) -> "np.ndarray":
     """Vectorized integer-key path of :func:`~repro.hashing.hash_functions.hash_key`."""
     load_numpy()
     count = len(keys)
+    _count_hashes(count)
     masked = np.fromiter((key & _MASK64 for key in keys), dtype=np.uint64, count=count)
     return splitmix64_array(masked ^ np.uint64(_splitmix64(seed ^ 0xA5A5A5A5)))
 
