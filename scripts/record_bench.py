@@ -15,11 +15,19 @@ Usage::
     PYTHONPATH=src python scripts/record_bench.py --repeats 3     # steadier numbers
     PYTHONPATH=src python scripts/record_bench.py --workers 4     # + cluster row
     PYTHONPATH=src python scripts/record_bench.py --workers 2 --transport shm
+    PYTHONPATH=src python scripts/record_bench.py --serve       # + served throughput
     PYTHONPATH=src python scripts/record_bench.py --out BENCH_tab1.json
 
 With ``--workers`` the run also records ``sharded_speedup_vs_update_many``
 and — when both data planes were measured — ``transport_speedup_shm_vs_pipe``
 (shared-memory ring vs pickled pipe, same worker count and stream).
+
+With ``--serve`` the run additionally measures the network front end: a
+:mod:`repro.serve` server is started in-process over a fresh cluster and
+driven by the :mod:`repro.serve.loadgen` harness (concurrent ingest feeds +
+query clients over real TCP), recording ``served_throughput_edges_per_s``,
+``served_vs_inprocess`` (the protocol's toll against the same cluster fed
+directly) and the p50/p99 served query latency.
 """
 
 from __future__ import annotations
@@ -61,7 +69,93 @@ def parse_args(argv=None) -> argparse.Namespace:
                              "(default auto)")
     parser.add_argument("--label", default=None,
                         help="free-form label stored with the run (e.g. the PR number)")
+    parser.add_argument("--serve", action="store_true",
+                        help="also measure the repro.serve network front end "
+                             "(served throughput + query latency over TCP)")
+    parser.add_argument("--serve-items", type=int, default=60_000,
+                        help="synthetic stream length of the --serve "
+                             "measurement (default 60000)")
+    parser.add_argument("--serve-workers", type=int, default=0,
+                        help="worker processes behind the served cluster "
+                             "(default: --workers, or 2)")
     return parser.parse_args(argv)
+
+
+def measure_serve(args: argparse.Namespace) -> dict:
+    """The ``--serve`` section: served vs in-process throughput, one stream.
+
+    Both sides ingest the identical synthetic stream into an identically
+    specced ``sharded-gss`` cluster; the served side pays the protocol toll
+    (framing, TCP, admission control) with concurrent query clients running,
+    the in-process side calls ``update_many`` directly.
+    """
+    import time
+
+    from repro.api import SketchSpec, build
+    from repro.serve import ServeConfig, serve_in_thread
+    from repro.serve.loadgen import LoadGenConfig, run_load_test, synthetic_stream
+
+    workers = args.serve_workers or args.workers or 2
+    transport = args.transport
+    stream = synthetic_stream(args.serve_items, nodes=4_000, seed=11)
+    spec = SketchSpec(
+        "sharded-gss",
+        expected_edges=max(1, len(stream)),
+        params={"workers": workers, "transport": transport},
+    )
+
+    direct = build(spec)
+    begin = time.perf_counter()
+    direct.update_many(stream)
+    direct.flush()
+    inprocess_elapsed = time.perf_counter() - begin
+    direct.close()
+    inprocess_eps = len(stream) / inprocess_elapsed if inprocess_elapsed else 0.0
+
+    cluster = build(spec)
+    handle = serve_in_thread(cluster, ServeConfig(close_summary=False))
+    try:
+        report = run_load_test(
+            LoadGenConfig(
+                host=handle.host,
+                port=handle.port,
+                ingest_clients=2,
+                query_clients=6,
+                total_items=len(stream),
+            ),
+            stream=stream,
+        )
+    finally:
+        handle.stop()
+        cluster.close()
+
+    served_eps = report["edges_per_second"]
+    section = {
+        "items": len(stream),
+        "workers": workers,
+        "transport": report["server"]["transport"],
+        "binary_ingest": report["server"]["binary_ingest"],
+        "ingest_clients": report["clients"]["ingest"],
+        "query_clients": report["clients"]["query"],
+        "served_throughput_edges_per_s": served_eps,
+        "inprocess_edges_per_s": inprocess_eps,
+        "served_vs_inprocess": served_eps / inprocess_eps if inprocess_eps else None,
+        "query_p50_ms": report["query"]["p50_ms"],
+        "query_p99_ms": report["query"]["p99_ms"],
+        "queries": report["query"]["count"],
+        "busy_retries": report["busy_retries"],
+        "server_busy_replies": report["server"]["busy_replies"],
+    }
+    print(
+        f"served: {served_eps:,.0f} edges/s over TCP "
+        f"({section['ingest_clients']} feeds + {section['query_clients']} "
+        f"query clients, workers={workers}, "
+        f"transport={section['transport']}) vs in-process "
+        f"{inprocess_eps:,.0f} edges/s -> "
+        f"{section['served_vs_inprocess']:.2f}x; query p50 "
+        f"{section['query_p50_ms']:.2f} ms, p99 {section['query_p99_ms']:.2f} ms"
+    )
+    return section
 
 
 def build_config(args: argparse.Namespace, backend: str) -> ExperimentConfig:
@@ -169,6 +263,9 @@ def main(argv=None) -> int:
                         f"shm vs pipe transport on {dataset} [{backend}]: "
                         f"{speedup:.2f}x"
                     )
+    if args.serve:
+        print("== measuring served throughput (repro.serve over TCP) ==", flush=True)
+        run_entry["serve"] = measure_serve(args)
     if "numpy" in rates:
         speedups = {
             dataset: rates["numpy"][dataset] / rates["python"][dataset]

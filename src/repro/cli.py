@@ -14,6 +14,13 @@ format consumed by ``scripts/record_bench.py``).
 ``sketches`` is not an experiment: it lists the registry — every sketch the
 ``repro.api`` factory can build, with its capabilities.
 
+``serve`` is not an experiment either: ``python -m repro serve --workers 2
+--port 8750`` builds a ``sharded-gss`` cluster and runs the
+:mod:`repro.serve` network front end over it in the foreground until
+SIGINT/SIGTERM (draining in-flight batches and, with ``--checkpoint-dir``,
+checkpointing before exit).  It has its own flag set — see
+``python -m repro serve --help``.
+
 Every sketch the runners construct goes through :func:`repro.api.build`; the
 CLI never instantiates a summary class directly.
 """
@@ -98,7 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "which table/figure to regenerate; 'all' runs every paper artifact, "
             "'extensions' runs the ablation and deployment studies, 'sketches' "
-            "lists every registered summary structure and its capabilities"
+            "lists every registered summary structure and its capabilities "
+            "(also: 'serve' runs the network front end — "
+            "see 'python -m repro serve --help')"
         ),
     )
     parser.add_argument(
@@ -300,8 +309,109 @@ def _run_sketches_listing(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``serve`` sub-command's own parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gss serve",
+        description="Run the repro.serve network front end over a sharded-gss "
+        "cluster: concurrent ingest feeds and query clients over TCP, with "
+        "credit-window backpressure and GET /metrics on the same port.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default loopback; the protocol "
+                             "trusts its network — keep it private)")
+    parser.add_argument("--port", type=int, default=8750,
+                        help="TCP port (0 picks a free one; default 8750)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="cluster worker processes (default 2)")
+    parser.add_argument("--transport", choices=["auto", "shm", "pipe"],
+                        default="auto", help="cluster data-plane transport")
+    parser.add_argument("--backend", choices=["python", "numpy", "auto"],
+                        default="python", help="matrix backend of the shards")
+    sizing = parser.add_mutually_exclusive_group()
+    sizing.add_argument("--expected-edges", type=int, default=None,
+                        help="size the summary for this many distinct edges "
+                             "(default 100000)")
+    sizing.add_argument("--memory-bytes", type=int, default=None,
+                        help="size the summary to this memory budget instead")
+    parser.add_argument("--credits", type=int, default=8,
+                        help="per-connection ingest credit window (default 8)")
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="global cap on admitted-but-unapplied batches")
+    parser.add_argument("--retry-after", type=float, default=0.05,
+                        help="backoff hint carried by busy replies (seconds)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="checkpoint here on shutdown (and on the "
+                             "protocol's checkpoint op)")
+    parser.add_argument("--restore", action="store_true",
+                        help="restore the cluster from --checkpoint-dir "
+                             "before serving")
+    return parser
+
+
+def _run_serve(argv: List[str]) -> int:
+    """The ``serve`` sub-command: foreground server until SIGINT/SIGTERM."""
+    import asyncio
+
+    from repro.api import SketchSpec, build
+    from repro.serve.server import ServeConfig, SummaryServer
+
+    args = build_serve_parser().parse_args(argv)
+    if args.restore and args.checkpoint_dir is None:
+        raise SystemExit("--restore needs --checkpoint-dir")
+    if args.restore:
+        from repro.cluster import load_checkpoint
+
+        summary = load_checkpoint(args.checkpoint_dir, backend=args.backend)
+        print(f"restored {summary.workers}-worker cluster from "
+              f"{args.checkpoint_dir} ({summary.update_count} items)")
+    else:
+        spec = SketchSpec(
+            "sharded-gss",
+            expected_edges=(
+                args.expected_edges
+                if args.expected_edges is not None or args.memory_bytes is not None
+                else 100_000
+            ),
+            memory_bytes=args.memory_bytes,
+            backend=args.backend,
+            params={"workers": args.workers, "transport": args.transport},
+        )
+        summary = build(spec)
+    server = SummaryServer(
+        summary,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            credits=args.credits,
+            max_inflight=args.max_inflight,
+            retry_after=args.retry_after,
+            checkpoint_dir=args.checkpoint_dir,
+        ),
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"(workers={summary.workers} transport={summary.transport} "
+            f"credits={args.credits} max_inflight={args.max_inflight}); "
+            f"GET /metrics on the same port; Ctrl-C drains and exits",
+            flush=True,
+        )
+        await server.wait_stopped()
+
+    asyncio.run(_serve())
+    print("server stopped")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro-gss`` script."""
+    raw_argv = sys.argv[1:] if argv is None else list(argv)
+    if raw_argv and raw_argv[0] == "serve":
+        return _run_serve(raw_argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "sketches":

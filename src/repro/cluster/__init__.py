@@ -12,7 +12,12 @@ boundaries:
 * :mod:`repro.cluster.checkpoint` — whole-cluster checkpoint/recovery built
   on the shards' ``to_dict`` snapshots (per-shard files + a manifest),
   resumable mid-stream;
-* :mod:`repro.cluster.worker` — the shard worker process protocol.
+* :mod:`repro.cluster.worker` — the shard worker process protocol;
+* :mod:`repro.cluster.lifecycle` — graceful SIGINT/SIGTERM teardown
+  (:func:`install_signal_handlers`: drain → checkpoint → close) for
+  script-style cluster users; the network front end in :mod:`repro.serve`
+  layers asyncio signal handling over the same
+  :meth:`ShardedSummary.shutdown` drain path.
 
 The cluster registers in the :mod:`repro.api` factory as ``"sharded-gss"``
 (parameters: ``workers``, ``routing_seed``, ``batch_size`` plus every GSS
@@ -27,13 +32,16 @@ from repro.cluster.checkpoint import (
     read_manifest,
     save_checkpoint,
 )
+from repro.cluster.lifecycle import DEFAULT_SHUTDOWN_SIGNALS, install_signal_handlers
 from repro.cluster.sharded import DEFAULT_ROUTING_SEED, ClusterError, ShardedSummary
 
 __all__ = [
     "CheckpointError",
     "ClusterError",
     "DEFAULT_ROUTING_SEED",
+    "DEFAULT_SHUTDOWN_SIGNALS",
     "ShardedSummary",
+    "install_signal_handlers",
     "load_checkpoint",
     "read_manifest",
     "save_checkpoint",

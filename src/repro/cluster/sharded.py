@@ -33,8 +33,9 @@ the conformance laws, the CLI and the experiment runners drive it unchanged.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.cluster.transport import (
     DEFAULT_RING_BYTES,
@@ -370,6 +371,14 @@ class ShardedSummary(SummaryShims):
         self._routing_seed = routing_seed
         self._update_count = 0
         self._closed = False
+        # Reentrant guard serializing every pipe-touching operation.  A bare
+        # cluster used from one thread never contends on it; the network
+        # front end (repro.serve) and any multi-threaded caller rely on it
+        # for two guarantees: (a) pipe messages never interleave, and
+        # (b) barrier() / shard_snapshots() hold it across *all* shards, so
+        # a concurrent query observes either the whole pre-checkpoint state
+        # or the whole post-checkpoint state — never a partial mix.
+        self._lock = threading.RLock()
         self._transport = resolve_transport(transport)
         self._context = _pick_context(start_method)
         self._handles: List[_WorkerHandle] = []
@@ -440,14 +449,15 @@ class ShardedSummary(SummaryShims):
 
     def update(self, source: Hashable, destination: Hashable, weight: float = 1.0) -> None:
         """Route one stream item to its shard (coalesced client-side)."""
-        self._ensure_open()
-        shard = self.shard_of(source)
-        outbox = self._outbox[shard]
-        outbox.append((source, destination, weight))
-        self._update_count += 1
-        if len(outbox) >= self.batch_size:
-            self._dispatch(shard, outbox)
-            self._outbox[shard] = []
+        with self._lock:
+            self._ensure_open()
+            shard = self.shard_of(source)
+            outbox = self._outbox[shard]
+            outbox.append((source, destination, weight))
+            self._update_count += 1
+            if len(outbox) >= self.batch_size:
+                self._dispatch(shard, outbox)
+                self._outbox[shard] = []
 
     def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
         """Hash a batch once, split it by shard, and queue each group.
@@ -461,17 +471,18 @@ class ShardedSummary(SummaryShims):
         whose shard sub-batches carry their hash columns all the way into
         the workers' matrix backends.
         """
-        self._ensure_open()
-        if self._client_spec is None:
-            return self._update_many_plain(items)
-        return self.update_many_hashed(
-            HashedBatch.from_items(
-                items,
-                self._client_spec,
-                node_memo=self._node_memo,
-                route_memo=self._route_memo,
+        with self._lock:
+            self._ensure_open()
+            if self._client_spec is None:
+                return self._update_many_plain(items)
+            return self.update_many_hashed(
+                HashedBatch.from_items(
+                    items,
+                    self._client_spec,
+                    node_memo=self._node_memo,
+                    route_memo=self._route_memo,
+                )
             )
-        )
 
     def update_many_hashed(self, batch: HashedBatch) -> int:
         """Route a prepared :class:`HashedBatch` to its owning shard workers.
@@ -481,33 +492,34 @@ class ShardedSummary(SummaryShims):
         ``StreamSession`` against :meth:`hash_spec` — flows through with no
         additional hash work.
         """
-        self._ensure_open()
-        if self._client_spec is None:
-            return self._update_many_plain(batch.items())
-        if (
-            not batch.hashed
-            or batch.spec is None
-            or not batch.spec.matches(self._client_spec)
-            or batch.spec.routing_seed != self._routing_seed
-            or batch.route_hashes is None
-        ):
-            batch = HashedBatch.from_items(
-                batch.items(),
-                self._client_spec,
-                node_memo=self._node_memo,
-                route_memo=self._route_memo,
-            )
-        count = 0
-        for shard, sub_batch in batch.split_by_route(self.workers):
-            if self._outbox[shard]:
-                # Preserve stream order within the shard: coalesced scalar
-                # updates queued before this batch must be applied first.
-                self._dispatch(shard, self._outbox[shard])
-                self._outbox[shard] = []
-            self._handles[shard].send_hashed(sub_batch)
-            count += len(sub_batch)
-        self._update_count += count
-        return count
+        with self._lock:
+            self._ensure_open()
+            if self._client_spec is None:
+                return self._update_many_plain(batch.items())
+            if (
+                not batch.hashed
+                or batch.spec is None
+                or not batch.spec.matches(self._client_spec)
+                or batch.spec.routing_seed != self._routing_seed
+                or batch.route_hashes is None
+            ):
+                batch = HashedBatch.from_items(
+                    batch.items(),
+                    self._client_spec,
+                    node_memo=self._node_memo,
+                    route_memo=self._route_memo,
+                )
+            count = 0
+            for shard, sub_batch in batch.split_by_route(self.workers):
+                if self._outbox[shard]:
+                    # Preserve stream order within the shard: coalesced scalar
+                    # updates queued before this batch must be applied first.
+                    self._dispatch(shard, self._outbox[shard])
+                    self._outbox[shard] = []
+                self._handles[shard].send_hashed(sub_batch)
+                count += len(sub_batch)
+            self._update_count += count
+            return count
 
     def _update_many_plain(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
         """Scalar-routing fallback for workers without a hashed ingest path."""
@@ -556,10 +568,11 @@ class ShardedSummary(SummaryShims):
         far — the state a checkpoint snapshots and a throughput measurement
         must include.
         """
-        self._ensure_open()
-        self._send_outboxes()
-        for handle in self._handles:
-            handle.drain()
+        with self._lock:
+            self._ensure_open()
+            self._send_outboxes()
+            for handle in self._handles:
+                handle.drain()
 
     def _send_outboxes(self, only: Optional[int] = None) -> None:
         shards = range(self.workers) if only is None else (only,)
@@ -572,17 +585,19 @@ class ShardedSummary(SummaryShims):
 
     def _ask_one(self, shard: int, method: str, *args):
         """Route one query to one shard (pending batches apply first: FIFO)."""
-        self._ensure_open()
-        self._send_outboxes(only=shard)
-        return self._handles[shard].request(("call", method, args))
+        with self._lock:
+            self._ensure_open()
+            self._send_outboxes(only=shard)
+            return self._handles[shard].request(("call", method, args))
 
     def _ask_all(self, method: str, *args) -> List:
         """Scatter one query to every shard, then gather in shard order."""
-        self._ensure_open()
-        self._send_outboxes()
-        for handle in self._handles:
-            handle.send_request(("call", method, args))
-        return [handle.collect() for handle in self._handles]
+        with self._lock:
+            self._ensure_open()
+            self._send_outboxes()
+            for handle in self._handles:
+                handle.send_request(("call", method, args))
+            return [handle.collect() for handle in self._handles]
 
     def edge_query(self, source: Hashable, destination: Hashable) -> Optional[float]:
         """Edge query served by the single shard owning ``source``."""
@@ -662,12 +677,20 @@ class ShardedSummary(SummaryShims):
     # -- persistence ---------------------------------------------------------
 
     def shard_snapshots(self) -> List[Dict]:
-        """Snapshot every shard (after a flush) in shard order."""
-        self.flush()
-        self._ensure_open()
-        for handle in self._handles:
-            handle.send_request(("snapshot",))
-        return [handle.collect() for handle in self._handles]
+        """Snapshot every shard (after a flush) in shard order.
+
+        The cluster lock is held across the flush *and* the collection of
+        every shard's snapshot — the checkpoint read barrier: a query issued
+        from another thread while a checkpoint is in progress blocks until
+        the snapshots are consistent, so it can never observe a state where
+        some shards have flushed batches the others have not.
+        """
+        with self._lock:
+            self.flush()
+            self._ensure_open()
+            for handle in self._handles:
+                handle.send_request(("snapshot",))
+            return [handle.collect() for handle in self._handles]
 
     def snapshot_metadata(self) -> Dict:
         """The cluster's topology/bookkeeping state, without the shard data.
@@ -776,22 +799,47 @@ class ShardedSummary(SummaryShims):
         dropped — call :meth:`flush` (or checkpoint) first when the state
         matters.  Idempotent.
         """
-        if self._closed:
-            return
-        self._closed = True
-        for handle in self._handles:
-            try:
-                handle.stop()
-            except Exception:  # pragma: no cover - best-effort teardown
-                pass
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for handle in self._handles:
+                try:
+                    handle.stop()
+                except Exception:  # pragma: no cover - best-effort teardown
+                    pass
+
+    def shutdown(self, checkpoint_dir: Optional[Union[str, "Path"]] = None) -> None:
+        """Graceful stop: drain in-flight batches, checkpoint, release workers.
+
+        Unlike :meth:`close` — which drops whatever still sits in the
+        client-side outboxes — ``shutdown`` first pushes every buffered item
+        out and waits for the workers to apply it, then (when
+        ``checkpoint_dir`` is given) writes a consistent checkpoint, and only
+        then stops the workers and unlinks the shared-memory rings.  This is
+        what SIGINT/SIGTERM handlers should call (see
+        :func:`repro.cluster.install_signal_handlers`).  Idempotent: a
+        second call (or a call on an already-closed cluster) is a no-op.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self.flush()
+            if checkpoint_dir is not None:
+                # Imported here: repro.cluster.checkpoint imports this module.
+                from repro.cluster.checkpoint import save_checkpoint
+
+                save_checkpoint(self, checkpoint_dir)
+            self.close()
 
     def kill(self) -> None:
         """Hard-terminate every worker without flushing (crash simulation)."""
-        if self._closed:
-            return
-        self._closed = True
-        for handle in self._handles:
-            handle.kill()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for handle in self._handles:
+                handle.kill()
 
     def __enter__(self) -> "ShardedSummary":
         return self

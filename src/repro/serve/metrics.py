@@ -1,0 +1,113 @@
+"""The counters behind the server's ``/metrics`` endpoint.
+
+:class:`ServerMetrics` accumulates cheap in-loop counters (connections,
+frames, busy rejections, in-flight credits) and, on demand, merges the
+summary's own :class:`~repro.api.ShardIngestStats` — items per shard,
+queue-depth high water, routing imbalance.  Collection deliberately touches
+only client-side bookkeeping (never the worker pipes), so ``/metrics``
+answers instantly even while the summary executor is saturated with ingest
+work — exactly when an operator most wants to look at it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["ServerMetrics", "http_response", "render_metrics"]
+
+
+@dataclass
+class ServerMetrics:
+    """Mutable counter block owned by one :class:`SummaryServer`."""
+
+    started: float = field(default_factory=time.monotonic)
+    connections_total: int = 0
+    connections_open: int = 0
+    frames_received: int = 0
+    ingest_frames: int = 0
+    ingest_items: int = 0
+    binary_ingest_frames: int = 0
+    busy_replies: int = 0
+    queries: int = 0
+    flushes: int = 0
+    checkpoints: int = 0
+    errors: int = 0
+    #: Batches admitted but not yet applied by the summary executor.
+    inflight: int = 0
+    #: Largest ``inflight`` observed (admission-queue high water).
+    inflight_high_water: int = 0
+
+    def admit(self) -> None:
+        self.inflight += 1
+        if self.inflight > self.inflight_high_water:
+            self.inflight_high_water = self.inflight
+
+    def settle(self) -> None:
+        self.inflight -= 1
+
+
+def render_metrics(
+    metrics: ServerMetrics,
+    summary,
+    *,
+    credits: int,
+    max_inflight: int,
+    transport: Optional[str] = None,
+) -> Dict:
+    """One JSON-safe snapshot of the server and its summary.
+
+    ``summary`` may be any :class:`~repro.api.GraphSummary`; the shard
+    section appears only when it exposes ``shard_ingest_stats()`` (the
+    sharded deployments).  ``update_count`` counts items *routed*, which can
+    momentarily exceed items applied — the difference is what ``inflight``
+    measures.
+    """
+    document: Dict = {
+        "server": "repro-serve",
+        "uptime_seconds": time.monotonic() - metrics.started,
+        "connections_open": metrics.connections_open,
+        "connections_total": metrics.connections_total,
+        "frames_received": metrics.frames_received,
+        "ingest_frames": metrics.ingest_frames,
+        "ingest_items": metrics.ingest_items,
+        "binary_ingest_frames": metrics.binary_ingest_frames,
+        "busy_replies": metrics.busy_replies,
+        "queries": metrics.queries,
+        "flushes": metrics.flushes,
+        "checkpoints": metrics.checkpoints,
+        "errors": metrics.errors,
+        "inflight_batches": metrics.inflight,
+        "inflight_high_water": metrics.inflight_high_water,
+        "credits_per_connection": credits,
+        "max_inflight_batches": max_inflight,
+    }
+    if transport is not None:
+        document["transport"] = transport
+    update_count = getattr(summary, "update_count", None)
+    if update_count is not None:
+        document["update_count"] = update_count
+    shard_stats = getattr(summary, "shard_ingest_stats", None)
+    if callable(shard_stats):
+        stats = shard_stats()
+        document["shards"] = {
+            "items_routed": list(stats.items_routed),
+            "queue_depth_high_water": stats.queue_depth_high_water,
+            "routing_imbalance": stats.routing_imbalance,
+        }
+    return document
+
+
+def http_response(document: Dict, status: str = "200 OK") -> bytes:
+    """A minimal ``HTTP/1.0`` response carrying ``document`` as JSON."""
+    body = json.dumps(document, indent=2).encode("utf-8") + b"\n"
+    head = (
+        f"HTTP/1.0 {status}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body

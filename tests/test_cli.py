@@ -214,3 +214,52 @@ class TestSketchesListing:
     def test_single_experiment_without_sketch_rows_errors(self):
         with pytest.raises(SystemExit, match="no --sketch comparison rows"):
             main(["window", "--quick", "--sketch", "cm"])
+
+
+class TestServeSubcommand:
+    """The ``serve`` sub-command's parser (the server itself is exercised by
+    ``tests/test_serve.py``; here we pin the CLI surface)."""
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8750
+        assert args.workers == 2
+        assert args.transport == "auto"
+        assert args.backend == "python"
+        assert args.credits == 8
+        assert args.max_inflight == 64
+        assert args.checkpoint_dir is None
+        assert not args.restore
+
+    def test_serve_flags_parse(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(
+            ["--workers", "4", "--transport", "pipe", "--port", "0",
+             "--memory-bytes", "65536", "--checkpoint-dir", "/tmp/ck"]
+        )
+        assert args.workers == 4
+        assert args.transport == "pipe"
+        assert args.memory_bytes == 65536
+        assert args.checkpoint_dir == "/tmp/ck"
+
+    def test_sizing_flags_mutually_exclusive(self):
+        from repro.cli import build_serve_parser
+
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(
+                ["--expected-edges", "10", "--memory-bytes", "10"]
+            )
+
+    def test_restore_needs_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="--checkpoint-dir"):
+            main(["serve", "--restore"])
+
+    def test_serve_not_an_experiment_choice(self):
+        # 'serve' is intercepted before the experiment parser; the experiment
+        # positional itself does not accept it.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
