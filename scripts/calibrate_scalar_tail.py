@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Calibrate ``GSSConfig.scalar_tail_threshold`` for this machine.
+
+The NumPy matrix backend routes small "tails" of a batch — the handful of
+genuinely new edges (or unknown items) left over after the memoized
+whole-array pass — through the scalar helpers instead of the vectorized
+pipeline, because fixed per-call NumPy overhead beats vectorization on tiny
+inputs.  The crossover point is machine-dependent; this script sweeps the
+threshold over the Table I streams and reports the measured throughput per
+setting, so the default (``NumpyMatrixBackend._SCALAR_TAIL_DEFAULT``, 96 at
+the time of writing) can be re-checked on new hardware.
+
+Placement is threshold-independent by construction (both paths share the
+same address/candidate memos), so this is purely a speed knob — the sweep
+asserts that queries agree across settings as a sanity check.
+
+Usage::
+
+    PYTHONPATH=src python scripts/calibrate_scalar_tail.py            # bench scale
+    PYTHONPATH=src python scripts/calibrate_scalar_tail.py --quick    # smoke
+    PYTHONPATH=src python scripts/calibrate_scalar_tail.py \
+        --thresholds 0 32 64 96 128 256 --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.backends import NUMPY_AVAILABLE  # noqa: E402
+from repro.core.config import GSSConfig  # noqa: E402
+from repro.core.gss import GSS  # noqa: E402
+from repro.experiments.config import ExperimentConfig, load_streams  # noqa: E402
+
+DEFAULT_THRESHOLDS = (0, 16, 32, 48, 64, 96, 128, 192, 256)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny smoke configuration instead of bench scale")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the dataset scale factor")
+    parser.add_argument("--batch-size", type=int, default=1024,
+                        help="update_many chunk size (default 1024)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="cold runs averaged per threshold (default 1)")
+    parser.add_argument("--thresholds", type=int, nargs="+",
+                        default=list(DEFAULT_THRESHOLDS),
+                        help="scalar_tail_threshold values to sweep")
+    return parser.parse_args(argv)
+
+
+def sketch_config(config: ExperimentConfig, width: int, threshold: int) -> GSSConfig:
+    return GSSConfig(
+        matrix_width=width,
+        fingerprint_bits=max(config.fingerprint_bits),
+        rooms=config.rooms,
+        sequence_length=config.sequence_length,
+        candidate_buckets=config.candidate_buckets,
+        seed=config.seed,
+        backend="numpy",
+        scalar_tail_threshold=threshold,
+    )
+
+
+def measure(config: GSSConfig, edges, batch_size: int, repeats: int):
+    """Average cold-ingest time over ``repeats`` fresh sketches."""
+    elapsed = 0.0
+    sketch = None
+    for _ in range(repeats):
+        sketch = GSS(config)
+        begin = time.perf_counter()
+        for start in range(0, len(edges), batch_size):
+            sketch.update_many(edges[start : start + batch_size])
+        elapsed += time.perf_counter() - begin
+    return elapsed / repeats, sketch
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if not NUMPY_AVAILABLE:
+        print("NumPy is not available; the scalar tail only exists on the "
+              "numpy backend, nothing to calibrate.")
+        return 1
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig()
+    if args.scale is not None:
+        config.dataset_scale = args.scale
+
+    recommendations = {}
+    for name, stream in load_streams(config):
+        width = config.recommended_width(stream.statistics())
+        edges = [(e.source, e.destination, e.weight) for e in stream]
+        print(f"== {name}: {len(edges)} edges, width {width}, "
+              f"batch {args.batch_size} ==")
+        rates = {}
+        reference_answers = None
+        probe = edges[: min(200, len(edges))]
+        for threshold in args.thresholds:
+            seconds, sketch = measure(
+                sketch_config(config, width, threshold),
+                edges, args.batch_size, args.repeats,
+            )
+            rates[threshold] = len(edges) / seconds if seconds else 0.0
+            answers = [sketch.edge_query(s, d) for s, d, _ in probe]
+            if reference_answers is None:
+                reference_answers = answers
+            elif answers != reference_answers:
+                print(f"!! threshold {threshold} changed query results — "
+                      f"placement must be threshold-independent", file=sys.stderr)
+                return 1
+            print(f"  scalar_tail_threshold={threshold:<4d} "
+                  f"{rates[threshold]:>12,.0f} edges/s")
+        best = max(rates, key=rates.get)
+        recommendations[name] = best
+        print(f"  -> best on {name}: {best} "
+              f"({rates[best] / rates[min(rates)] - 1:+.1%} vs "
+              f"threshold {min(rates)})")
+    print()
+    print("per-dataset best thresholds:", recommendations)
+    print("(the default is deliberately a midpoint of the flat region — "
+          "only change GSSConfig.scalar_tail_threshold or "
+          "NumpyMatrixBackend._SCALAR_TAIL_DEFAULT if the sweep is "
+          "consistently off the plateau)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,17 +2,19 @@
 """Record the Table I perf trajectory into ``BENCH_tab1.json``.
 
 Runs the tab1 update-speed experiment on the pure-Python backend and — when
-NumPy is installed — on the NumPy backend, in one process (same machine
-state, same streams), then writes one machine-readable document containing
-both row sets plus the per-dataset ``GSS(update_many)`` speedup.  Re-running
-appends a new entry to the ``runs`` list, so the file accumulates the perf
-trajectory across PRs.
+available — on the NumPy and native (compiled kernel) backends, in one
+process (same machine state, same streams), then writes one machine-readable
+document containing every row set plus the per-dataset ``GSS(update_many)``
+speedups (numpy vs python, native vs numpy) and the remaining gap to the
+exact adjacency-list baseline.  Re-running appends a new entry to the
+``runs`` list, so the file accumulates the perf trajectory across PRs.
 
 Usage::
 
     PYTHONPATH=src python scripts/record_bench.py                 # default bench scale
     PYTHONPATH=src python scripts/record_bench.py --quick         # smoke
     PYTHONPATH=src python scripts/record_bench.py --repeats 3     # steadier numbers
+    PYTHONPATH=src python scripts/record_bench.py --profile       # + per-stage profile
     PYTHONPATH=src python scripts/record_bench.py --workers 4     # + cluster row
     PYTHONPATH=src python scripts/record_bench.py --workers 2 --transport shm
     PYTHONPATH=src python scripts/record_bench.py --serve       # + served throughput
@@ -28,6 +30,10 @@ driven by the :mod:`repro.serve.loadgen` harness (concurrent ingest feeds +
 query clients over real TCP), recording ``served_throughput_edges_per_s``,
 ``served_vs_inprocess`` (the protocol's toll against the same cluster fed
 directly) and the p50/p99 served query latency.
+
+With ``--profile`` each backend's run also records where batched-ingest time
+goes (hashing / placement / buffer-spill / memo upkeep, totals and per
+batch) under ``results.<backend>.ingest_profile``.
 """
 
 from __future__ import annotations
@@ -60,6 +66,10 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="update_many chunk size (default 1024)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="cold runs averaged per measurement (default 1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record a per-stage ingest profile (hashing / "
+                             "placement / buffer-spill / memo upkeep) for "
+                             "every backend's run")
     parser.add_argument("--workers", type=int, default=0,
                         help="also measure a multi-process sharded-gss cluster "
                              "row with this many worker processes (default 0 = off)")
@@ -190,11 +200,21 @@ def update_many_rates(rows) -> dict:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    backends = ["python"] + (["numpy"] if NUMPY_AVAILABLE else [])
+    from repro.core._native import native_available
+
+    # Probing also compiles/binds the kernel (the warm-up hook), so the
+    # one-time build cost lands here, never inside a timed region.
+    native_ready = native_available()
+    backends = (
+        ["python"]
+        + (["numpy"] if NUMPY_AVAILABLE else [])
+        + (["native"] if native_ready else [])
+    )
     run_entry = {
         "label": args.label,
         "python": platform.python_version(),
         "numpy_available": NUMPY_AVAILABLE,
+        "native_available": native_ready,
         "repeats": args.repeats,
         "workers": args.workers,
         "transport": args.transport,
@@ -208,16 +228,37 @@ def main(argv=None) -> int:
     )
     pipe_cluster_label = f"sharded-gss(workers={args.workers},transport=pipe)"
     rates = {}
+    adjacency_rates = {}
     sharded_rates = {}
     pipe_rates = {}
     for backend in backends:
         config = build_config(args, backend)
         print(f"== running tab1 on backend={backend} ==", flush=True)
-        result = run_update_speed_experiment(config)
+        if args.profile:
+            from repro.metrics.ingest_profile import profile_ingest
+
+            with profile_ingest() as profile:
+                result = run_update_speed_experiment(config)
+        else:
+            profile = None
+            result = run_update_speed_experiment(config)
         print(result.to_text())
         print()
         run_entry["results"][backend] = results_to_document([result], config)
+        if profile is not None:
+            # Stage times cover every batched GSS/cluster ingest of the run
+            # (the scalar GSS(update) rows and non-GSS structures have no
+            # batched stages to attribute).
+            run_entry["results"][backend]["ingest_profile"] = profile.as_dict()
+            total = sum(profile.stages.values())
+            shares = ", ".join(
+                f"{stage} {seconds / total:.0%}"
+                for stage, seconds in sorted(profile.stages.items())
+            ) if total else "no batched stages recorded"
+            print(f"ingest profile [{backend}]: {shares} "
+                  f"({profile.batches} batches, {total:.3f}s staged)")
         rates[backend] = update_many_rates(result.rows)
+        adjacency_rates[backend] = structure_rates(result.rows, "Adjacency Lists")
         if args.workers:
             sharded_rates[backend] = structure_rates(result.rows, main_cluster_label)
             pipe_rates[backend] = structure_rates(result.rows, pipe_cluster_label)
@@ -275,6 +316,30 @@ def main(argv=None) -> int:
         run_entry["update_many_speedup_numpy_vs_python"] = speedups
         for dataset, speedup in speedups.items():
             print(f"GSS(update_many) speedup on {dataset}: {speedup:.2f}x")
+    if "native" in rates and "numpy" in rates:
+        native_speedups = {
+            dataset: rates["native"][dataset] / rates["numpy"][dataset]
+            for dataset in rates["numpy"]
+            if rates["numpy"].get(dataset) and rates["native"].get(dataset)
+        }
+        run_entry["native_vs_numpy_speedup"] = native_speedups
+        for dataset, speedup in native_speedups.items():
+            print(f"GSS(update_many) native vs numpy on {dataset}: {speedup:.2f}x")
+    # How much faster the exact adjacency-list store still ingests than the
+    # sketch's batched path, per backend (>1 means the baseline leads; the
+    # native backend is meant to push this toward 1).
+    run_entry["gss_vs_adjacency_ratio"] = {
+        backend: {
+            dataset: adjacency_rates[backend][dataset] / rate
+            for dataset, rate in backend_rates.items()
+            if rate and adjacency_rates.get(backend, {}).get(dataset)
+        }
+        for backend, backend_rates in rates.items()
+    }
+    for backend, ratios in run_entry["gss_vs_adjacency_ratio"].items():
+        for dataset, ratio in ratios.items():
+            print(f"adjacency-list lead over GSS(update_many) on {dataset} "
+                  f"[{backend}]: {ratio:.2f}x")
 
     out_path = Path(args.out)
     if out_path.exists():

@@ -80,8 +80,9 @@ class SketchSpec:
         Alternative sizing: the budget of a default GSS sized for this many
         distinct edges (the equal-memory comparison invariant).
     backend:
-        Matrix/counter backend (``python`` / ``numpy`` / ``auto``) for the
-        structures that have one; ignored by the reservoir estimators.
+        Matrix/counter backend (``python`` / ``numpy`` / ``native`` /
+        ``auto``) for the structures that have one; ignored by the
+        reservoir estimators.
     seed:
         Base hash seed.
     params:
@@ -264,11 +265,12 @@ def _build_gss(spec: SketchSpec) -> GSS:
 
 
 def _build_gss_basic(spec: SketchSpec) -> GSSBasic:
-    if spec.backend == "numpy":
-        # GSSBasic has no vectorized storage; failing an explicit numpy
-        # request beats silently building a pure-python sketch into a
-        # backend=numpy comparison row.  "auto" resolves to the only backend
-        # the structure has (pure Python) — auto means "best available".
+    if spec.backend in ("numpy", "native"):
+        # GSSBasic has no vectorized or compiled storage; failing an explicit
+        # numpy/native request beats silently building a pure-python sketch
+        # into a comparison row labeled with that backend.  "auto" resolves
+        # to the only backend the structure has (pure Python) — auto means
+        # "best available".
         raise ValueError("gss-basic supports only the python backend")
     fingerprint_bits = spec.params.get("fingerprint_bits", 16)
     width = spec.params.get("matrix_width")

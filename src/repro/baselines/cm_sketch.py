@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-from repro.core.backends import resolve_backend_name
+from repro.core.backends import resolve_counter_backend_name
 from repro.hashing.hash_functions import hash_key
 from repro.hashing.vectorized import hash_strings_array, load_numpy
 from repro.queries.primitives import Capabilities, SummaryShims, UnsupportedQueryError
@@ -35,7 +35,7 @@ class CountMinSketch(SummaryShims):
         self.width = width
         self.depth = depth
         self.seed = seed
-        self.backend = resolve_backend_name(backend)
+        self.backend = resolve_counter_backend_name(backend)
         if self.backend == "numpy":
             np = load_numpy()
             self.counters = np.zeros((depth, width), dtype=np.float64)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-from repro.core.backends import resolve_backend_name
+from repro.core.backends import resolve_counter_backend_name
 from repro.hashing.vectorized import load_numpy
 from repro.queries.primitives import Capabilities, SummaryShims
 
@@ -48,7 +48,7 @@ class GMatrix(SummaryShims):
         if self.multiplier % 2 == 0:
             self.multiplier += 1
         self.increment = increment + seed
-        self.backend = resolve_backend_name(backend)
+        self.backend = resolve_counter_backend_name(backend)
         if self.backend == "numpy":
             np = load_numpy()
             self.counters = np.zeros(width * width, dtype=np.float64)

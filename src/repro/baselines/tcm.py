@@ -17,7 +17,7 @@ from __future__ import annotations
 from itertools import chain
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-from repro.core.backends import resolve_backend_name
+from repro.core.backends import resolve_counter_backend_name
 from repro.core.reverse_index import NodeIndex
 from repro.hashing.hash_functions import NodeHasher
 from repro.hashing.vectorized import load_numpy, node_hashes_array
@@ -114,7 +114,7 @@ class TCM(SummaryShims):
         self.width = width
         self.depth = depth
         self.seed = seed
-        self.backend = resolve_backend_name(backend)
+        self.backend = resolve_counter_backend_name(backend)
         numpy_counters = self.backend == "numpy"
         self._sketches = [
             _TCMSketch(width, seed + index, numpy_counters=numpy_counters)

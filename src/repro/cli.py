@@ -157,12 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["python", "numpy", "auto"],
+        choices=["python", "numpy", "native", "auto"],
         default="python",
         help=(
             "matrix backend for GSS and the TCM counters: 'python' (zero "
-            "dependencies, default), 'numpy' (vectorized; falls back to "
-            "python with a warning when NumPy is missing) or 'auto'"
+            "dependencies, default), 'numpy' (vectorized), 'native' "
+            "(compiled placement kernel; counters use numpy) or 'auto' "
+            "(fastest available).  Missing prerequisites fall back down "
+            "the chain with a warning"
         ),
     )
     parser.add_argument(
@@ -326,7 +328,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="cluster worker processes (default 2)")
     parser.add_argument("--transport", choices=["auto", "shm", "pipe"],
                         default="auto", help="cluster data-plane transport")
-    parser.add_argument("--backend", choices=["python", "numpy", "auto"],
+    parser.add_argument("--backend", choices=["python", "numpy", "native", "auto"],
                         default="python", help="matrix backend of the shards")
     sizing = parser.add_mutually_exclusive_group()
     sizing.add_argument("--expected-edges", type=int, default=None,

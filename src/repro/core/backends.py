@@ -2,7 +2,7 @@
 
 :class:`~repro.core.gss.GSS` owns the hashing, the left-over buffer, the
 reverse node index and the query API; *where the matrix rooms live* is the
-backend's business.  Two observationally identical implementations are
+backend's business.  Three observationally identical implementations are
 provided:
 
 * :class:`PythonMatrixBackend` — the original occupancy-indexed layout:
@@ -13,6 +13,11 @@ provided:
   fill table and an edge-to-slot map.  Batch updates run through the
   vectorized hashing pipeline of :mod:`repro.hashing.vectorized`, and
   neighbor scans / reconstruction are whole-array operations.
+* :class:`NativeMatrixBackend` — the numpy layout with the whole per-batch
+  aggregate/classify/place pipeline (including the inherently sequential
+  first-seen contention loop) compiled to a C kernel
+  (:mod:`repro.core._native`).  A batch crosses the Python/kernel boundary
+  once; only buffer spills come back to Python.
 
 Equivalence is not accidental — it is load-bearing.  Both backends place
 every sketch edge in exactly the same room (or buffer entry), because:
@@ -34,13 +39,18 @@ merges) and asserts the results match item-for-item.
 
 from __future__ import annotations
 
+import ctypes
 import warnings
+import weakref
 from bisect import insort
 from itertools import chain, repeat as _repeat
+from time import perf_counter
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.config import GSSConfig
+from repro.hashing.hash_functions import _FNV_OFFSET, _count_hashes, _splitmix64
 from repro.hashing.linear_congruence import recover_address
+from repro.metrics.ingest_profile import active_profile
 from repro.hashing.vectorized import (
     NUMPY_AVAILABLE,
     address_sequences,
@@ -71,16 +81,38 @@ _UNSEEN = -2
 _KEY_SENTINEL = (1 << 64) - 1
 
 
+def _native_usable() -> bool:
+    """Whether the compiled placement kernel can run here (lazy probe)."""
+    if not NUMPY_AVAILABLE:
+        return False
+    from repro.core._native import native_available
+
+    return native_available()
+
+
 def resolve_backend_name(requested: str) -> str:
     """Resolve a configured backend name to the one actually used.
 
-    ``auto`` picks NumPy when available; an explicit ``numpy`` request
-    degrades to ``python`` with a warning when NumPy is not installed, so a
-    sketch (or a serialized snapshot produced on a NumPy machine) keeps
-    working in a zero-dependency environment.
+    ``auto`` prefers native -> numpy -> python, taking the fastest backend
+    the machine can actually run.  Explicit requests degrade down the same
+    chain with a warning when their prerequisites (a C toolchain and numpy
+    for ``native``, numpy for ``numpy``) are missing, so a sketch — or a
+    serialized snapshot produced on a better-equipped machine — keeps
+    working everywhere.
     """
     if requested == "auto":
+        if _native_usable():
+            return "native"
         return "numpy" if NUMPY_AVAILABLE else "python"
+    if requested == "native" and not _native_usable():
+        fallback = "numpy" if NUMPY_AVAILABLE else "python"
+        warnings.warn(
+            "GSSConfig.backend='native' but the compiled placement kernel is "
+            f"unavailable here; falling back to the {fallback} matrix backend",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return fallback
     if requested == "numpy" and not NUMPY_AVAILABLE:
         warnings.warn(
             "GSSConfig.backend='numpy' but NumPy is not installed; "
@@ -92,9 +124,40 @@ def resolve_backend_name(requested: str) -> str:
     return requested
 
 
+def resolve_counter_backend_name(requested: str) -> str:
+    """Resolve a backend name for plain counter-array structures (baselines).
+
+    The compiled kernel is GSS-placement-specific; counter sketches (TCM,
+    GMatrix, CM) have only python/numpy storage, so ``native`` — explicit or
+    via ``auto`` — means ``numpy`` to them (their fastest available), with
+    the usual degrade-with-warning when NumPy itself is missing.
+    """
+    if requested == "auto":
+        return "numpy" if NUMPY_AVAILABLE else "python"
+    if requested == "native":
+        requested = "numpy"
+    return resolve_backend_name(requested)
+
+
 def make_backend(sketch) -> "PythonMatrixBackend":
     """Instantiate the matrix backend selected by ``sketch.config.backend``."""
     name = resolve_backend_name(sketch.config.backend)
+    if name == "native":
+        config = sketch.config
+        # The kernel packs H(s) * M + H(d) into uint64 and counts bucket fill
+        # in uint8; configs outside that envelope run the numpy backend
+        # instead (same results, just not compiled).
+        if config.hash_range > (1 << 32) or config.rooms >= 255:
+            if config.backend == "native":
+                warnings.warn(
+                    "GSSConfig.backend='native' but this config is outside "
+                    "the compiled kernel's envelope (needs hash_range <= 2^32 "
+                    "and rooms < 255); using the numpy matrix backend",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return NumpyMatrixBackend(sketch)
+        return NativeMatrixBackend(sketch)
     if name == "numpy":
         return NumpyMatrixBackend(sketch)
     return PythonMatrixBackend(sketch)
@@ -222,6 +285,8 @@ class PythonMatrixBackend:
         sketch = self._sketch
         hasher = sketch._hasher
         node_index = sketch._node_index
+        profile = active_profile()
+        started = perf_counter() if profile is not None else 0.0
         hashes: Dict[Hashable, int] = {}
         aggregated: Dict[Tuple[int, int], float] = {}
         count = 0
@@ -239,8 +304,16 @@ class PythonMatrixBackend:
                     node_index.record(destination, destination_hash)
             key = (source_hash, destination_hash)
             aggregated[key] = aggregated.get(key, 0.0) + weight
+        if profile is not None:
+            hashed_at = perf_counter()
+            profile.add("hashing", hashed_at - started)
         for (source_hash, destination_hash), weight in aggregated.items():
             self.insert_edge(source_hash, destination_hash, weight)
+        if profile is not None:
+            # Buffer spill is interleaved inside insert_edge on this backend,
+            # so it is accounted under placement.
+            profile.add("placement", perf_counter() - hashed_at)
+            profile.count_batch()
         return count
 
     def update_many_by_hash(self, edges: Iterable[Tuple[int, int, float]]) -> int:
@@ -414,13 +487,16 @@ class NumpyMatrixBackend:
     #: are still hashed (and re-hashed) correctly, just without caching, so a
     #: long-running process cannot grow without bound.
     _NODE_CACHE_LIMIT = 1 << 20
-    #: Below this many new edges (or unknown items), the batch tail runs
-    #: through the scalar helpers instead of the array pipeline: fixed
-    #: per-call NumPy overhead beats vectorization on tiny inputs, and the
-    #: scalar path shares the address/candidate memos, so it is cheap and —
-    #: by construction — placement-identical.  96 measured best on the
-    #: Table I streams (see BENCH_tab1.json).
-    _SCALAR_TAIL_THRESHOLD = 96
+    #: Default for ``GSSConfig.scalar_tail_threshold``: below this many new
+    #: edges (or unknown items), the batch tail runs through the scalar
+    #: helpers instead of the array pipeline — fixed per-call NumPy overhead
+    #: beats vectorization on tiny inputs, and the scalar path shares the
+    #: address/candidate memos, so it is cheap and — by construction —
+    #: placement-identical.  Micro-calibrated on the Table I streams with
+    #: ``scripts/calibrate_scalar_tail.py``: the scalar/vector crossover sits
+    #: in the 64–128 range, flat to within measurement noise, and 96 is the
+    #: midpoint that measured best overall (see BENCH_tab1.json).
+    _SCALAR_TAIL_DEFAULT = 96
 
     def __init__(self, sketch) -> None:
         if not NUMPY_AVAILABLE:  # pragma: no cover - guarded by make_backend
@@ -435,6 +511,11 @@ class NumpyMatrixBackend:
         self._hash_range = config.hash_range
         # Packed uint64 edge keys need H(s) * M + H(d) < 2**64.
         self._packed_keys = self._hash_range <= (1 << 32)
+        self._scalar_tail = (
+            config.scalar_tail_threshold
+            if config.scalar_tail_threshold is not None
+            else self._SCALAR_TAIL_DEFAULT
+        )
         capacity = self._INITIAL_CAPACITY
         self._rows = np.zeros(capacity, dtype=np.int64)
         self._cols = np.zeros(capacity, dtype=np.int64)
@@ -623,12 +704,20 @@ class NumpyMatrixBackend:
         if not triples:
             return 0
         count = len(triples)
+        profile = active_profile()
+        if profile is not None:
+            started = perf_counter()
+            memo_before = profile.stage_seconds("memo")
         sources, destinations, weights = zip(*triples)
         weight_array = np.asarray(weights, dtype=np.float64)
         if not self._packed_keys:
             source_hashes, destination_hashes = self._node_hashes_for(
                 sources, destinations
             )
+            if profile is not None:
+                memo_spent = profile.stage_seconds("memo") - memo_before
+                profile.add("hashing", perf_counter() - started - memo_spent)
+                profile.count_batch()
             self._ingest_hash_pairs(source_hashes, destination_hashes, weight_array)
             return count
         # Packed-key fast path: one dict probe per item resolves repeat
@@ -642,7 +731,7 @@ class NumpyMatrixBackend:
         unknown = keys == _KEY_SENTINEL
         if unknown.any():
             unknown_positions = np.nonzero(unknown)[0].tolist()
-            if len(unknown_positions) <= self._SCALAR_TAIL_THRESHOLD:
+            if len(unknown_positions) <= self._scalar_tail:
                 self._resolve_pairs_scalar(sources, destinations, unknown_positions, keys)
             else:
                 unknown_sources = [sources[position] for position in unknown_positions]
@@ -655,9 +744,16 @@ class NumpyMatrixBackend:
                 resolved = source_hashes * np.uint64(self._hash_range) + destination_hashes
                 keys[unknown] = resolved
                 if len(pair_cache) < self._NODE_CACHE_LIMIT:
+                    memo_started = perf_counter() if profile is not None else 0.0
                     pair_cache.update(
                         zip(zip(unknown_sources, unknown_destinations), resolved.tolist())
                     )
+                    if profile is not None:
+                        profile.add("memo", perf_counter() - memo_started)
+        if profile is not None:
+            memo_spent = profile.stage_seconds("memo") - memo_before
+            profile.add("hashing", perf_counter() - started - memo_spent)
+            profile.count_batch()
         self._ingest_keys(keys, weight_array)
         return count
 
@@ -721,7 +817,11 @@ class NumpyMatrixBackend:
                 for node, node_hash in zip(missing, hashed):
                     node_index.record(node, node_hash)
             if len(cache) < self._NODE_CACHE_LIMIT:
+                profile = active_profile()
+                memo_started = perf_counter() if profile is not None else 0.0
                 cache.update(zip(missing, hashed))
+                if profile is not None:
+                    profile.add("memo", perf_counter() - memo_started)
                 lookup = cache
             else:
                 # Cache is at capacity: resolve this batch through a private
@@ -789,6 +889,10 @@ class NumpyMatrixBackend:
         ordering that is observable, because it decides same-batch bucket
         contention and buffer-entry creation.
         """
+        profile = active_profile()
+        if profile is not None:
+            started = perf_counter()
+            spill_before = profile.stage_seconds("buffer_spill")
         unique_keys, first_index, inverse = np.unique(
             keys, return_index=True, return_inverse=True
         )
@@ -813,6 +917,7 @@ class NumpyMatrixBackend:
         if buffered.any():
             # These edges already own their buffer entries, so add order
             # cannot affect buffer iteration order.
+            spill_started = perf_counter() if profile is not None else 0.0
             buffer = self._sketch._buffer
             source_hashes, destination_hashes = np.divmod(
                 unique_keys[buffered], hash_range
@@ -823,6 +928,8 @@ class NumpyMatrixBackend:
                 sums[buffered].tolist(),
             ):
                 buffer.add(source_hash, destination_hash, weight)
+            if profile is not None:
+                profile.add("buffer_spill", perf_counter() - spill_started)
         unseen = slots == _UNSEEN
         if unseen.any():
             # First-seen order decides who wins contended rooms; restore it
@@ -830,7 +937,7 @@ class NumpyMatrixBackend:
             order = np.argsort(first_index[unseen], kind="stable")
             unseen_keys = unique_keys[unseen][order]
             source_hashes, destination_hashes = np.divmod(unseen_keys, hash_range)
-            if len(unseen_keys) <= self._SCALAR_TAIL_THRESHOLD:
+            if len(unseen_keys) <= self._scalar_tail:
                 self._place_new_edges_scalar(
                     source_hashes.tolist(),
                     destination_hashes.tolist(),
@@ -844,6 +951,9 @@ class NumpyMatrixBackend:
                     sums[unseen][order],
                     unseen_keys.tolist(),
                 )
+        if profile is not None:
+            spill_spent = profile.stage_seconds("buffer_spill") - spill_before
+            profile.add("placement", perf_counter() - started - spill_spent)
 
     def _ingest_hash_pairs(self, source_hashes, destination_hashes, weights) -> None:
         """Ingest fallback for hash ranges too large to pack into uint64.
@@ -1057,6 +1167,8 @@ class NumpyMatrixBackend:
                 sums[edge_array],
             )
         if overflowed:
+            profile = active_profile()
+            spill_started = perf_counter() if profile is not None else 0.0
             buffer = sketch._buffer
             edge_slot.update(zip([keys[edge] for edge in overflowed], _repeat(_BUFFERED)))
             spilled = np.asarray(overflowed, dtype=np.int64)
@@ -1066,6 +1178,8 @@ class NumpyMatrixBackend:
                 sums[spilled].tolist(),
             ):
                 buffer.add(source_hash, destination_hash, weight)
+            if profile is not None:
+                profile.add("buffer_spill", perf_counter() - spill_started)
 
     # -- queries -----------------------------------------------------------
 
@@ -1137,3 +1251,315 @@ class NumpyMatrixBackend:
                 self._weights[order].tolist(),
             )
         )
+
+
+class _NativeEdgeSlotMap:
+    """Dict facade over the kernel's persistent C edge->slot table.
+
+    Exposes exactly the mapping surface the inherited scalar paths use —
+    ``get``, item assignment, ``update``, ``len``, containment — so
+    ``insert_edge``, ``register_room`` and ``matrix_edge_weight`` work
+    unchanged against kernel-owned state.  The C side stores ``-2`` for
+    missing keys; this facade translates that back to the caller's default.
+    """
+
+    __slots__ = ("_ctx", "_map_get", "_map_put", "_map_len")
+
+    def __init__(self, lib, ctx) -> None:
+        self._ctx = ctx
+        self._map_get = lib.gss_map_get
+        self._map_put = lib.gss_map_put
+        self._map_len = lib.gss_map_len
+
+    def get(self, key, default=None):
+        value = self._map_get(self._ctx, key)
+        return default if value == _UNSEEN else value
+
+    def __setitem__(self, key, value) -> None:
+        if self._map_put(self._ctx, key, value) != 0:
+            raise MemoryError("native edge-slot table allocation failed")
+
+    def __contains__(self, key) -> bool:
+        return self._map_get(self._ctx, key) != _UNSEEN
+
+    def __len__(self) -> int:
+        return self._map_len(self._ctx)
+
+    def update(self, pairs) -> None:
+        for key, value in pairs:
+            self[key] = value
+
+
+class NativeMatrixBackend(NumpyMatrixBackend):
+    """Columnar storage with the batch pipeline compiled to a C kernel.
+
+    Storage is the numpy backend's struct-of-arrays layout — every query,
+    scan, merge and serialization path is inherited verbatim.  What changes
+    is batched ingestion: aggregation, edge classification and the
+    first-seen-order bucket-probe/contention loop all run inside one
+    ``gss_ingest_batch`` call (:mod:`repro.core._native`), so a batch crosses
+    the Python/kernel boundary exactly once.  Only buffer traffic comes back
+    out, as (key, aggregated weight) arrays, because the left-over buffer is
+    an exact structure with Python dict semantics.
+
+    The kernel owns exactly one piece of state: the persistent edge->slot
+    map (a C open-addressing table, wrapped by :class:`_NativeEdgeSlotMap`
+    for the inherited scalar paths).  Room arrays and the bucket-fill table
+    stay Python-owned numpy arrays that the kernel writes through pointers —
+    ``_bucket_fill`` becomes a uint8 array instead of a list so both sides
+    can touch it.
+
+    Construction compiles/binds the kernel, so building a store *is* the
+    warm-up; every benchmark harness in this repo constructs stores outside
+    timed regions.  ``make_backend`` guards the envelope: packed uint64 keys
+    (``hash_range <= 2^32``) and ``rooms < 255`` (uint8 fill), degrading to
+    the numpy backend otherwise.
+    """
+
+    name = "native"
+
+    def __init__(self, sketch) -> None:
+        super().__init__(sketch)
+        if not self._packed_keys:  # pragma: no cover - guarded by make_backend
+            raise RuntimeError("NativeMatrixBackend requires packed uint64 keys")
+        from repro.core._native import load_native
+
+        lib = load_native()
+        ctx = lib.gss_new()
+        if not ctx:  # pragma: no cover - allocation failure
+            raise MemoryError("native kernel context allocation failed")
+        self._lib = lib
+        self._ctx = ctx
+        self._ctx_finalizer = weakref.finalize(self, lib.gss_free, ctx)
+        self._edge_slot = _NativeEdgeSlotMap(lib, ctx)
+        self._bucket_fill = np.zeros(self._width * self._width, dtype=np.uint8)
+        lcg = sketch._lcg
+        config = sketch.config
+        self._kernel_config = (
+            self._hash_range,
+            self._fingerprint_range,
+            self._width,
+            config.rooms,
+            config.sequence_length,
+            config.candidate_buckets,
+            1 if config.square_hashing else 0,
+            1 if config.sampling else 0,
+            lcg.multiplier,
+            lcg.increment,
+            lcg.modulus,
+        )
+        # Seeded FNV-1a initial state for the kernel's node hashing — the
+        # same value hash_functions.hash_bytes starts from, so the kernel's
+        # token hashes are bit-identical to hash_string(node, seed).
+        self._fnv_state0 = _FNV_OFFSET ^ _splitmix64(config.seed)
+        # Kernel out-arrays, reused across batches and grown to the largest
+        # batch seen; their contents are consumed before the call returns.
+        self._scratch_len = 0
+        self._spill_ctr = ctypes.c_int64(0)
+        self._rebuf_ctr = ctypes.c_int64(0)
+        self._new_ctr = ctypes.c_int64(0)
+
+    def _ensure_batch_scratch(self, count: int) -> None:
+        if count <= self._scratch_len:
+            return
+        self._sc_spill_keys = np.empty(count, dtype=np.uint64)
+        self._sc_spill_sums = np.empty(count, dtype=np.float64)
+        self._sc_rebuf_keys = np.empty(count, dtype=np.uint64)
+        self._sc_rebuf_sums = np.empty(count, dtype=np.float64)
+        self._sc_new_offs = np.empty(2 * count, dtype=np.int64)
+        self._sc_new_lens = np.empty(2 * count, dtype=np.int64)
+        self._sc_new_hashes = np.empty(2 * count, dtype=np.uint64)
+        self._scratch_len = count
+
+    def update_many(self, items: Iterable[Tuple[Hashable, Hashable, float]]) -> int:
+        """Whole-batch text ingestion: node IDs to placed rooms in one call.
+
+        For all-string batches the node identifiers cross the boundary as a
+        single NUL-joined UTF-8 blob (interleaved source/destination stream
+        order).  The kernel hashes each token with the same seeded
+        FNV-1a/splitmix64 mix as :func:`repro.hashing.hash_functions.hash_string`,
+        memoizes it in a persistent C node table, packs the edge keys and
+        runs the aggregate/classify/place pipeline — hashing included, the
+        batch crosses the Python/kernel boundary exactly once.  Genuinely
+        new nodes come back as blob slices and are mirrored into the reverse
+        node index (first-seen interleaved order, like the scalar paths) and
+        the Python-side node memo; the hash-once counter is credited with
+        exactly the keys the kernel mixed.  Batches containing non-string
+        IDs — or strings with embedded NULs, which would make the join
+        ambiguous — fall back to the inherited per-key path, which is itself
+        kernel-backed.
+        """
+        triples = items if isinstance(items, list) else list(items)
+        if not triples:
+            return 0
+        count = len(triples)
+        profile = active_profile()
+        if profile is not None:
+            started = perf_counter()
+        sources, destinations, weights = zip(*triples)
+        try:
+            joined = "\x00".join(chain.from_iterable(zip(sources, destinations)))
+        except TypeError:
+            return super().update_many(triples)
+        blob = joined.encode("utf-8")
+        if blob.count(0) != 2 * count - 1:
+            return super().update_many(triples)
+        weight_array = np.ascontiguousarray(weights, dtype=np.float64)
+        self._ensure_capacity(count)
+        self._ensure_batch_scratch(count)
+        spill_count = self._spill_ctr
+        rebuf_count = self._rebuf_ctr
+        new_count = self._new_ctr
+        if profile is not None:
+            profile.add("hashing", perf_counter() - started)
+            started = perf_counter()
+        new_size = self._lib.gss_ingest_text_batch(
+            self._ctx,
+            blob,
+            len(blob),
+            weight_array.ctypes.data,
+            count,
+            self._fnv_state0,
+            *self._kernel_config,
+            self._size,
+            self._rows.ctypes.data,
+            self._cols.ctypes.data,
+            self._src_fp.ctypes.data,
+            self._dst_fp.ctypes.data,
+            self._src_idx.ctypes.data,
+            self._dst_idx.ctypes.data,
+            self._weights.ctypes.data,
+            self._bucket_fill.ctypes.data,
+            self._sc_spill_keys.ctypes.data,
+            self._sc_spill_sums.ctypes.data,
+            ctypes.addressof(spill_count),
+            self._sc_rebuf_keys.ctypes.data,
+            self._sc_rebuf_sums.ctypes.data,
+            ctypes.addressof(rebuf_count),
+            self._sc_new_offs.ctypes.data,
+            self._sc_new_lens.ctypes.data,
+            self._sc_new_hashes.ctypes.data,
+            ctypes.addressof(new_count),
+        )
+        if new_size == -2:  # pragma: no cover - screened by the NUL check
+            return super().update_many(triples)
+        if new_size < 0:  # pragma: no cover - allocation failure
+            raise MemoryError("native kernel batch allocation failed")
+        self.matrix_edge_count += new_size - self._size
+        self._size = new_size
+        if profile is not None:
+            profile.add("placement", perf_counter() - started)
+            started = perf_counter()
+        self._apply_buffer_arrays(
+            self._sc_spill_keys, self._sc_spill_sums, spill_count.value,
+            self._sc_rebuf_keys, self._sc_rebuf_sums, rebuf_count.value,
+        )
+        if profile is not None:
+            profile.add("buffer_spill", perf_counter() - started)
+            started = perf_counter()
+        fresh = new_count.value
+        if fresh:
+            pairs = [
+                (blob[offset : offset + length].decode("utf-8"), node_hash)
+                for offset, length, node_hash in zip(
+                    self._sc_new_offs[:fresh].tolist(),
+                    self._sc_new_lens[:fresh].tolist(),
+                    self._sc_new_hashes[:fresh].tolist(),
+                )
+            ]
+            node_index = self._sketch._node_index
+            if node_index is not None:
+                node_index.record_new_many(pairs)
+            cache = self._node_hash_cache
+            if len(cache) < self._NODE_CACHE_LIMIT:
+                cache.update(pairs)
+            _count_hashes(fresh)
+        if profile is not None:
+            profile.add("hashing", perf_counter() - started)
+            profile.count_batch()
+        return count
+
+    def _ingest_keys(self, keys, weights) -> None:
+        """One kernel call per batch: aggregate, classify, place, spill."""
+        count = len(keys)
+        if count == 0:
+            return
+        profile = active_profile()
+        if profile is not None:
+            started = perf_counter()
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        # Worst case every key is new and placeable: reserve room slots up
+        # front so the kernel can append without reallocating.
+        self._ensure_capacity(count)
+        self._ensure_batch_scratch(count)
+        spill_count = self._spill_ctr
+        rebuf_count = self._rebuf_ctr
+        new_size = self._lib.gss_ingest_batch(
+            self._ctx,
+            keys.ctypes.data,
+            weights.ctypes.data,
+            count,
+            *self._kernel_config,
+            self._size,
+            self._rows.ctypes.data,
+            self._cols.ctypes.data,
+            self._src_fp.ctypes.data,
+            self._dst_fp.ctypes.data,
+            self._src_idx.ctypes.data,
+            self._dst_idx.ctypes.data,
+            self._weights.ctypes.data,
+            self._bucket_fill.ctypes.data,
+            self._sc_spill_keys.ctypes.data,
+            self._sc_spill_sums.ctypes.data,
+            ctypes.addressof(spill_count),
+            self._sc_rebuf_keys.ctypes.data,
+            self._sc_rebuf_sums.ctypes.data,
+            ctypes.addressof(rebuf_count),
+        )
+        if new_size < 0:  # pragma: no cover - allocation failure
+            raise MemoryError("native kernel batch allocation failed")
+        self.matrix_edge_count += new_size - self._size
+        self._size = new_size
+        if profile is not None:
+            profile.add("placement", perf_counter() - started)
+            started = perf_counter()
+        self._apply_buffer_arrays(
+            self._sc_spill_keys, self._sc_spill_sums, spill_count.value,
+            self._sc_rebuf_keys, self._sc_rebuf_sums, rebuf_count.value,
+        )
+        if profile is not None:
+            profile.add("buffer_spill", perf_counter() - started)
+
+    def _apply_buffer_arrays(
+        self, spill_keys, spill_sums, spills, rebuf_keys, rebuf_sums, rebufs
+    ) -> None:
+        """Apply the kernel's buffer traffic to the left-over buffer.
+
+        Exactly as the numpy backend orders it: re-buffered edges first
+        (their entries already exist, so add order is unobservable), then
+        genuine spills in first-seen order (this order creates buffer
+        entries and is observable).
+        """
+        buffer = self._sketch._buffer
+        hash_range = np.uint64(self._hash_range)
+        if rebufs:
+            source_hashes, destination_hashes = np.divmod(
+                rebuf_keys[:rebufs], hash_range
+            )
+            for source_hash, destination_hash, weight in zip(
+                source_hashes.tolist(),
+                destination_hashes.tolist(),
+                rebuf_sums[:rebufs].tolist(),
+            ):
+                buffer.add(source_hash, destination_hash, weight)
+        if spills:
+            source_hashes, destination_hashes = np.divmod(
+                spill_keys[:spills], hash_range
+            )
+            for source_hash, destination_hash, weight in zip(
+                source_hashes.tolist(),
+                destination_hashes.tolist(),
+                spill_sums[:spills].tolist(),
+            ):
+                buffer.add(source_hash, destination_hash, weight)

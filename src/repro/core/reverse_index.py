@@ -46,6 +46,32 @@ class NodeIndex:
         self._hash_of[node] = node_hash
         self._originals_of.setdefault(node_hash, set()).add(node)
 
+    def record_new_many(self, pairs: Iterable) -> None:
+        """Record many ``(node, node_hash)`` pairs in one call.
+
+        Bulk variant of :meth:`record` for batch-ingestion backends that
+        discover a batch's first-seen nodes all at once.  Semantics are
+        identical pair for pair — re-recording under the same hash is a
+        no-op, a conflicting hash raises ``ValueError`` — only the per-node
+        method-call overhead is gone.
+        """
+        hash_of = self._hash_of
+        originals_of = self._originals_of
+        for node, node_hash in pairs:
+            existing = hash_of.setdefault(node, node_hash)
+            if existing != node_hash:
+                raise ValueError(
+                    f"node {node!r} is already registered under hash {existing} "
+                    f"and cannot be re-registered under {node_hash}; this "
+                    "usually means sketches built with different hash seeds "
+                    "are being combined"
+                )
+            bucket = originals_of.get(node_hash)
+            if bucket is None:
+                originals_of[node_hash] = {node}
+            else:
+                bucket.add(node)
+
     def hash_of(self, node: Hashable) -> int:
         """Return the recorded hash of ``node``; raises ``KeyError`` if unseen."""
         return self._hash_of[node]

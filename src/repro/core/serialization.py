@@ -48,7 +48,12 @@ def sketch_to_dict(sketch: GSS, include_node_index: bool = True) -> Dict:
             "sampling": config.sampling,
             "keep_node_index": config.keep_node_index,
             "seed": config.seed,
-            "backend": config.backend,
+            # The *resolved* backend (never "auto", and never a name whose
+            # prerequisites were missing), so restoring the snapshot lands on
+            # the same backend that actually wrote it — modulo the restoring
+            # machine's own availability fallbacks.
+            "backend": sketch.backend_name,
+            "scalar_tail_threshold": config.scalar_tail_threshold,
         },
         "matrix_edge_count": sketch.matrix_edge_count,
         "update_count": sketch.update_count,

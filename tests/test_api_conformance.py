@@ -44,17 +44,38 @@ def make_stream():
     return stream_from_pairs(PAIRS, WEIGHTS, name="conformance")
 
 
-def spec_for(name: str, seed: int = 7) -> SketchSpec:
+def _native_ready() -> bool:
+    from repro.core._native import native_available
+
+    return native_available()
+
+
+#: Every law runs once on each leg: the registry's default backend, plus the
+#: compiled ``native`` backend when a kernel can actually be built here (the
+#: leg disappears — not fails — under REPRO_DISABLE_NATIVE/NUMBA or without
+#: a C toolchain, mirroring the CI matrix).
+BACKEND_LEGS = ["default"] + (["native"] if _native_ready() else [])
+
+
+def spec_for(name: str, seed: int = 7, backend: str = "default") -> SketchSpec:
     params = {}
+    kwargs = {}
     if name == "windowed-gss":
         # A window far longer than the stream: nothing expires, so the
         # windowed wrapper must agree with the plain aggregation laws.
         params["window_span"] = 1e9
-    return SketchSpec(name, memory_bytes=BUDGET_BYTES, seed=seed, params=params)
+    if backend != "default" and name != "gss-basic":
+        # gss-basic is by definition the pure-Python reference structure;
+        # every other sketch takes the backend request (counter sketches map
+        # native onto their numpy storage via resolve_counter_backend_name).
+        kwargs["backend"] = backend
+    return SketchSpec(
+        name, memory_bytes=BUDGET_BYTES, seed=seed, params=params, **kwargs
+    )
 
 
-def built_and_fed(name: str, seed: int = 7):
-    summary = build(spec_for(name, seed=seed))
+def built_and_fed(name: str, seed: int = 7, backend: str = "default"):
+    summary = build(spec_for(name, seed=seed, backend=backend))
     StreamSession(summary, batch_size=64).feed(make_stream())
     return summary
 
@@ -71,10 +92,15 @@ def truth():
     }
 
 
-@pytest.fixture(scope="module")
-def summaries():
-    """One fed instance per registered sketch, shared across the suite."""
-    return {name: built_and_fed(name) for name in list_sketches()}
+@pytest.fixture(scope="module", params=BACKEND_LEGS)
+def summaries(request):
+    """One fed instance per registered sketch, shared across the suite.
+
+    Parametrized over the backend legs, so every law below also holds with
+    the GSS family running on the compiled native kernel.
+    """
+    backend = request.param
+    return {name: built_and_fed(name, backend=backend) for name in list_sketches()}
 
 
 @pytest.mark.parametrize("name", list_sketches())

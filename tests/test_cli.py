@@ -141,14 +141,18 @@ class TestJsonBackendMetadata:
     def test_json_records_resolved_backend_for_auto(self, tmp_path, capsys):
         import json
 
-        from repro.core.backends import NUMPY_AVAILABLE
+        from repro.core.backends import NUMPY_AVAILABLE, resolve_backend_name
 
         path = tmp_path / "auto.json"
         assert main(["fig3", "--quick", "--backend", "auto", "--json", str(path)]) == 0
         capsys.readouterr()
         document = json.loads(path.read_text())
         assert document["backend_requested"] == "auto"
-        assert document["backend"] == ("numpy" if NUMPY_AVAILABLE else "python")
+        # auto prefers native > numpy > python, depending on availability.
+        assert document["backend"] == resolve_backend_name("auto")
+        assert document["backend"] != "auto"
+        if not NUMPY_AVAILABLE:
+            assert document["backend"] == "python"
 
 
 class TestSketchFlag:

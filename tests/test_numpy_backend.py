@@ -33,6 +33,30 @@ from repro.core.windowed import WindowedGSS
 
 requires_numpy = pytest.mark.skipif(not NUMPY_AVAILABLE, reason="NumPy not installed")
 
+
+def _native_ready() -> bool:
+    from repro.core._native import native_available
+
+    return native_available()
+
+
+#: The vectorized backends under differential test against the scalar
+#: reference.  The native leg skips — not fails — when no kernel can be
+#: built (no C toolchain) or the escape hatches are set.
+vector_backends = pytest.mark.parametrize(
+    "backend",
+    [
+        "numpy",
+        pytest.param(
+            "native",
+            marks=pytest.mark.skipif(
+                not _native_ready(),
+                reason="native kernel unavailable or disabled",
+            ),
+        ),
+    ],
+)
+
 # Streams over a small node universe with insertions AND deletions (negative
 # weights), sized so small matrices overflow into the left-over buffer.
 edge_items = st.tuples(
@@ -82,79 +106,89 @@ def assert_observationally_equal(first: GSS, second: GSS, items) -> None:
 
 
 @requires_numpy
+@vector_backends
 class TestBackendEquivalence:
     @given(items=streams, config=configs)
     @settings(max_examples=60, deadline=None)
-    def test_batched_numpy_equals_scalar_python(self, items, config):
+    def test_batched_vector_equals_scalar_python(self, backend, items, config):
         python_sketch = build_python(config, items)
-        numpy_sketch = GSS(replace(config, backend="numpy"))
-        assert numpy_sketch.backend_name == "numpy"
+        vector_sketch = GSS(replace(config, backend=backend))
+        assert vector_sketch.backend_name == backend
         batch = named(items)
         # Uneven chunks exercise cross-batch cache reuse and the scalar tails.
         third = max(1, len(batch) // 3)
-        numpy_sketch.update_many(batch[:third])
-        numpy_sketch.update_many(batch[third:])
-        assert numpy_sketch.update_count == python_sketch.update_count
-        assert_observationally_equal(python_sketch, numpy_sketch, items)
+        vector_sketch.update_many(batch[:third])
+        vector_sketch.update_many(batch[third:])
+        assert vector_sketch.update_count == python_sketch.update_count
+        assert_observationally_equal(python_sketch, vector_sketch, items)
 
     @given(items=streams, config=configs)
     @settings(max_examples=40, deadline=None)
-    def test_scalar_numpy_equals_scalar_python(self, items, config):
+    def test_scalar_vector_equals_scalar_python(self, backend, items, config):
         python_sketch = build_python(config, items)
-        numpy_sketch = GSS(replace(config, backend="numpy"))
+        vector_sketch = GSS(replace(config, backend=backend))
         for source, destination, weight in named(items):
-            numpy_sketch.update(source, destination, weight)
-        assert_observationally_equal(python_sketch, numpy_sketch, items)
+            vector_sketch.update(source, destination, weight)
+        assert_observationally_equal(python_sketch, vector_sketch, items)
 
     @given(items=streams, config=configs)
     @settings(max_examples=40, deadline=None)
-    def test_numpy_matches_its_own_unindexed_reference_scans(self, items, config):
-        numpy_sketch = GSS(replace(config, backend="numpy"))
-        numpy_sketch.update_many(named(items))
-        assert numpy_sketch.reconstruct_sketch_edges() == (
-            numpy_sketch.reconstruct_sketch_edges_unindexed()
+    def test_vector_matches_its_own_unindexed_reference_scans(
+        self, backend, items, config
+    ):
+        vector_sketch = GSS(replace(config, backend=backend))
+        vector_sketch.update_many(named(items))
+        assert vector_sketch.reconstruct_sketch_edges() == (
+            vector_sketch.reconstruct_sketch_edges_unindexed()
         )
         for node in {f"n{s}" for s, _, _ in items}:
-            node_hash = numpy_sketch.node_hash(node)
+            node_hash = vector_sketch.node_hash(node)
             for forward in (True, False):
-                assert numpy_sketch._neighbor_hashes(node_hash, forward) == (
-                    numpy_sketch._neighbor_hashes_unindexed(node_hash, forward)
+                assert vector_sketch._neighbor_hashes(node_hash, forward) == (
+                    vector_sketch._neighbor_hashes_unindexed(node_hash, forward)
                 )
 
-    def test_overflowing_stream_hits_buffer_identically(self):
+    def test_overflowing_stream_hits_buffer_identically(self, backend):
         config = GSSConfig(matrix_width=2, fingerprint_bits=4, rooms=1,
                            sequence_length=2, candidate_buckets=2)
         items = [(s, d, 1.0) for s in range(12) for d in range(12)]
         python_sketch = build_python(config, items)
-        numpy_sketch = GSS(replace(config, backend="numpy"))
-        numpy_sketch.update_many(named(items))
-        assert numpy_sketch.buffer_edge_count > 0  # the scenario actually overflows
-        assert_observationally_equal(python_sketch, numpy_sketch, items)
+        vector_sketch = GSS(replace(config, backend=backend))
+        vector_sketch.update_many(named(items))
+        assert vector_sketch.buffer_edge_count > 0  # the scenario actually overflows
+        assert_observationally_equal(python_sketch, vector_sketch, items)
 
-    def test_update_many_by_hash_replay(self):
+    def test_update_many_by_hash_replay(self, backend):
         config = GSSConfig(matrix_width=6, fingerprint_bits=8,
                            sequence_length=4, candidate_buckets=4)
         items = [(s % 9, (s * 3 + 1) % 9, float(1 + s % 4)) for s in range(60)]
         source = build_python(config, items)
         replayed_python = GSS(config)
         replayed_python.update_many_by_hash(source.reconstruct_sketch_edges())
-        replayed_numpy = GSS(replace(config, backend="numpy"))
-        replayed_numpy.update_many_by_hash(source.reconstruct_sketch_edges())
-        assert replayed_numpy.reconstruct_sketch_edges() == (
+        replayed_vector = GSS(replace(config, backend=backend))
+        replayed_vector.update_many_by_hash(source.reconstruct_sketch_edges())
+        assert replayed_vector.reconstruct_sketch_edges() == (
             replayed_python.reconstruct_sketch_edges()
         )
 
-    def test_wide_hash_range_fallback_path(self):
+    def test_wide_hash_range_fallback_path(self, backend):
         # fingerprint_bits=32 pushes H(s)*M+H(d) past uint64: the tuple-key
-        # ingest fallback must stay observationally identical.
+        # ingest fallback must stay observationally identical.  The native
+        # backend requires packed keys, so an explicit request outside that
+        # envelope degrades to numpy storage with a warning.
         config = GSSConfig(matrix_width=6, fingerprint_bits=32,
                            sequence_length=3, candidate_buckets=3)
         items = [(s % 7, (s * 2 + 1) % 7, 1.0) for s in range(40)]
         python_sketch = build_python(config, items)
-        numpy_sketch = GSS(replace(config, backend="numpy"))
-        assert not numpy_sketch._matrix._packed_keys
-        numpy_sketch.update_many(named(items))
-        assert_observationally_equal(python_sketch, numpy_sketch, items)
+        if backend == "native":
+            with pytest.warns(RuntimeWarning, match="native"):
+                vector_sketch = GSS(replace(config, backend=backend))
+            assert vector_sketch.backend_name == "numpy"
+        else:
+            vector_sketch = GSS(replace(config, backend=backend))
+        assert not vector_sketch._matrix._packed_keys
+        vector_sketch.update_many(named(items))
+        assert_observationally_equal(python_sketch, vector_sketch, items)
 
 
 @requires_numpy
@@ -165,6 +199,14 @@ class TestCrossBackendRoundTrips:
     @pytest.mark.parametrize("source_backend,target_backend", [
         ("python", "numpy"), ("numpy", "python"),
         ("python", "python"), ("numpy", "numpy"),
+    ] + [
+        pytest.param(source, target, marks=pytest.mark.skipif(
+            not _native_ready(), reason="native kernel unavailable or disabled",
+        ))
+        for source, target in [
+            ("python", "native"), ("native", "python"),
+            ("numpy", "native"), ("native", "numpy"), ("native", "native"),
+        ]
     ])
     def test_serialization_round_trips_across_backends(self, source_backend, target_backend):
         config = GSSConfig(matrix_width=6, fingerprint_bits=8, sequence_length=4,
@@ -328,9 +370,22 @@ class TestBackendSelection:
             GSSConfig(matrix_width=4, backend="fortran")
 
     def test_auto_resolves_to_available_backend(self):
-        expected = "numpy" if NUMPY_AVAILABLE else "python"
+        # auto prefers native > numpy > python, whichever is available.
+        from repro.core._native import native_available
+
+        if native_available():
+            expected = "native"
+        elif NUMPY_AVAILABLE:
+            expected = "numpy"
+        else:
+            expected = "python"
         assert resolve_backend_name("auto") == expected
         assert GSS(GSSConfig(matrix_width=4, backend="auto")).backend_name == expected
+
+    def test_auto_skips_native_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+        expected = "numpy" if NUMPY_AVAILABLE else "python"
+        assert resolve_backend_name("auto") == expected
 
     def test_numpy_request_without_numpy_falls_back_with_warning(self, monkeypatch):
         import repro.core.backends as backends_module
