@@ -527,6 +527,9 @@ class ShardedSummary(SummaryShims):
         count = 0
         for source, destination, weight in items:
             count += 1
+            # repro: allow(hash-once): scalar-routing fallback for workers
+            # without a hashed ingest path; the hashed path routes whole
+            # batches through HashedBatch.split_by_route.
             groups.setdefault(self.shard_of(source), []).append(
                 (source, destination, weight)
             )

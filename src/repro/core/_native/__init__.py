@@ -43,7 +43,35 @@ SLOT_BUFFERED = -1
 SLOT_MISSING = -2
 
 _KERNEL_SOURCE = Path(__file__).with_name("kernel.c")
-_COMPILE_FLAGS = ("-O3", "-fPIC", "-shared")
+#: Default build: optimized, and warning-clean by construction — the kernel
+#: must compile silently under -Wall -Wextra (CI promotes them to -Werror
+#: in the sanitizer leg; keeping them on here means a warning regression is
+#: visible in every local build log, not just CI).
+_COMPILE_FLAGS = ("-O3", "-fPIC", "-shared", "-Wall", "-Wextra")
+#: ``REPRO_NATIVE_SANITIZE=1`` build: ASan+UBSan, aborts on first report.
+#: -O1 keeps stack traces honest; -Werror makes any new warning fatal.
+_SANITIZE_FLAGS = (
+    "-O1",
+    "-g",
+    "-fPIC",
+    "-shared",
+    "-Wall",
+    "-Wextra",
+    "-Werror",
+    "-Wmissing-prototypes",
+    "-fsanitize=address,undefined",
+    "-fno-sanitize-recover=all",
+)
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_NATIVE_SANITIZE=1`` selects the ASan/UBSan build."""
+    return bool(os.environ.get("REPRO_NATIVE_SANITIZE"))
+
+
+def compile_flags() -> tuple:
+    """The exact flag tuple the next (or cached) kernel build uses."""
+    return _SANITIZE_FLAGS if sanitize_enabled() else _COMPILE_FLAGS
 
 _lock = threading.Lock()
 #: Tri-state load cache: None = not attempted, (lib, None) = loaded,
@@ -85,7 +113,7 @@ def _cache_dir() -> Path:
 def _source_tag() -> str:
     digest = hashlib.sha256()
     digest.update(_KERNEL_SOURCE.read_bytes())
-    digest.update(" ".join(_COMPILE_FLAGS).encode())
+    digest.update(" ".join(compile_flags()).encode())
     return digest.hexdigest()[:16]
 
 
@@ -98,7 +126,7 @@ def _compile(compiler: str, target: Path) -> None:
     os.close(descriptor)
     try:
         subprocess.run(
-            [compiler, *_COMPILE_FLAGS, "-o", tmp_name, str(_KERNEL_SOURCE)],
+            [compiler, *compile_flags(), "-o", tmp_name, str(_KERNEL_SOURCE)],
             check=True,
             capture_output=True,
             text=True,
@@ -175,6 +203,17 @@ def _load() -> tuple:
         if _load_state is not None:
             return _load_state
         try:
+            if sanitize_enabled() and "asan" not in os.environ.get("LD_PRELOAD", ""):
+                # dlopen-ing an ASan-instrumented library into a process
+                # that was not started under the ASan runtime aborts the
+                # interpreter outright ("ASan runtime does not come first")
+                # — there is no catchable exception, so refuse up front.
+                # scripts/native_sanitize.py sets the preload correctly.
+                raise NativeUnavailable(
+                    "REPRO_NATIVE_SANITIZE=1 requires the ASan runtime to be "
+                    "preloaded; run through scripts/native_sanitize.py or set "
+                    "LD_PRELOAD=$(cc -print-file-name=libasan.so)"
+                )
             tag = _source_tag()
             target = _cache_dir() / f"kernel-{tag}.so"
             if not target.exists():

@@ -98,6 +98,52 @@ typedef struct {
     int64_t tcap;
 } gss_ctx;
 
+/* Exported ABI.  Every non-static function below must appear here (the
+ * build runs with -Wmissing-prototypes under -Werror) and must stay in
+ * sync with the ctypes bindings in __init__.py — drift is caught by
+ * `python -m repro.devtools.lint` (rule abi-check). */
+gss_ctx *gss_new(void);
+void gss_free(gss_ctx *ctx);
+int64_t gss_map_get(gss_ctx *ctx, uint64_t key);
+int gss_map_put(gss_ctx *ctx, uint64_t key, int64_t val);
+int64_t gss_map_len(gss_ctx *ctx);
+int64_t gss_ingest_batch(
+    gss_ctx *ctx,
+    const uint64_t *keys, const double *weights, int64_t n,
+    uint64_t hash_range, uint64_t fp_range,
+    int64_t width, int64_t rooms,
+    int64_t seq_length, int64_t candidates,
+    int32_t square_hashing, int32_t sampling,
+    uint64_t lcg_a, uint64_t lcg_b, uint64_t lcg_p,
+    int64_t size,
+    int64_t *rows, int64_t *cols,
+    int64_t *src_fp_arr, int64_t *dst_fp_arr,
+    int64_t *src_idx_arr, int64_t *dst_idx_arr,
+    double *room_weights,
+    uint8_t *fill,
+    uint64_t *spill_keys, double *spill_sums, int64_t *spill_count,
+    uint64_t *rebuf_keys, double *rebuf_sums, int64_t *rebuf_count);
+int64_t gss_ingest_text_batch(
+    gss_ctx *ctx,
+    const unsigned char *blob, int64_t blob_len,
+    const double *weights, int64_t n,
+    uint64_t fnv_state0,
+    uint64_t hash_range, uint64_t fp_range,
+    int64_t width, int64_t rooms,
+    int64_t seq_length, int64_t candidates,
+    int32_t square_hashing, int32_t sampling,
+    uint64_t lcg_a, uint64_t lcg_b, uint64_t lcg_p,
+    int64_t size,
+    int64_t *rows, int64_t *cols,
+    int64_t *src_fp_arr, int64_t *dst_fp_arr,
+    int64_t *src_idx_arr, int64_t *dst_idx_arr,
+    double *room_weights,
+    uint8_t *fill,
+    uint64_t *spill_keys, double *spill_sums, int64_t *spill_count,
+    uint64_t *rebuf_keys, double *rebuf_sums, int64_t *rebuf_count,
+    int64_t *new_offs, int64_t *new_lens, uint64_t *new_hashes,
+    int64_t *new_count);
+
 static uint64_t mix_key(uint64_t value) {
     /* splitmix64 finalizer — identical to hash_functions._splitmix64 */
     value += 0x9E3779B97F4A7C15ULL;

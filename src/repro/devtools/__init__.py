@@ -1,0 +1,27 @@
+"""Repo-specific static analysis — the invariants behind "bit-identical".
+
+The system's headline guarantee is that every deployment shape answers
+queries bit-identically: python/numpy/native backends, single-process vs.
+sharded vs. served.  That guarantee rests on invariants that no unit test
+can pin forever — "hash once at the edge", "no wall-clock in placement",
+"the ctypes bindings match kernel.c", "nothing blocks the serve event
+loop".  This package machine-checks them on every PR:
+
+``python -m repro.devtools.lint src/``
+
+runs an AST-based checker suite (see :mod:`repro.devtools.checkers`) with
+per-rule scoping, ``# repro: allow(<rule>): <why>`` suppressions and JSON
+or human output.  The framework lives in :mod:`repro.devtools.framework`;
+the small C-declaration parser used by the ABI cross-checker lives in
+:mod:`repro.devtools.cdecl`.
+"""
+
+from repro.devtools.framework import (
+    Checker,
+    LintReport,
+    Project,
+    PyFile,
+    Violation,
+)
+
+__all__ = ["Checker", "LintReport", "Project", "PyFile", "Violation"]

@@ -1,0 +1,168 @@
+"""A small C-declaration parser for the ABI cross-checker.
+
+This is deliberately **not** a C parser.  It understands exactly the
+subset ``kernel.c`` is written in — and that the abi-check rule keeps it
+written in, because anything fancier would drift out of what this module
+can see:
+
+* ``typedef struct { <scalar or pointer fields>; } name;``
+* top-level function definitions/prototypes whose parameters are scalar
+  or pointer types (no function pointers, no arrays, no varargs);
+* ``static`` functions are internal and skipped.
+
+Types are canonicalized to a single-space-separated token string with
+``const``/``restrict`` dropped and every ``*`` a standalone token, e.g.
+``const unsigned char *blob`` → type ``unsigned char *``, name ``blob``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["CFunction", "CStruct", "CParseError", "parse_c_declarations"]
+
+
+class CParseError(ValueError):
+    """The source stepped outside the supported declaration subset."""
+
+
+@dataclass(frozen=True)
+class CFunction:
+    name: str
+    return_type: str
+    #: ``(canonical type, parameter name)`` pairs; empty for ``(void)``.
+    params: Tuple[Tuple[str, str], ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class CStruct:
+    name: str
+    #: ``(canonical type, field name)`` pairs, in declaration order.
+    fields: Tuple[Tuple[str, str], ...]
+    line: int
+
+
+_QUALIFIERS = {"const", "restrict", "volatile", "register"}
+
+
+def _strip_comments(source: str) -> str:
+    """Remove comments/preprocessor lines, preserving line numbers."""
+    # Block comments become same-shape whitespace so lineno math survives.
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    source = re.sub(r"/\*.*?\*/", blank, source, flags=re.S)
+    source = re.sub(r"//[^\n]*", "", source)
+    source = re.sub(r"^[ \t]*#[^\n]*", "", source, flags=re.M)
+    return source
+
+
+def _canonical(tokens: List[str]) -> str:
+    kept = [token for token in tokens if token not in _QUALIFIERS]
+    return " ".join(kept)
+
+
+def _split_declarator(text: str) -> Tuple[str, str]:
+    """``"const uint64_t *keys"`` → (``"uint64_t *"``, ``"keys"``)."""
+    tokens = text.replace("*", " * ").split()
+    if not tokens:
+        raise CParseError(f"empty declarator in {text!r}")
+    if tokens == ["void"]:
+        return "void", ""
+    name = tokens[-1]
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+        raise CParseError(f"unsupported declarator {text!r}")
+    type_tokens = tokens[:-1]
+    if not type_tokens:
+        raise CParseError(f"declarator {text!r} has no type")
+    return _canonical(type_tokens), name
+
+
+def _line_of(source: str, offset: int) -> int:
+    return source.count("\n", 0, offset) + 1
+
+
+_STRUCT_RE = re.compile(
+    r"typedef\s+struct(?:\s+[A-Za-z_][A-Za-z0-9_]*)?\s*\{(?P<body>[^}]*)\}\s*"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*;",
+    re.S,
+)
+
+# A function introducer: `rettype name(params)` followed by `{` or `;` at
+# top level.  Struct bodies are cut out before this runs, so field lists
+# can't masquerade as parameter lists.
+_FUNCTION_RE = re.compile(
+    r"(?m)^(?P<ret>[A-Za-z_][A-Za-z0-9_*\s]*?)\s*\b(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"\s*\((?P<params>[^()]*)\)\s*(?:\{|;)"
+)
+
+
+def parse_c_declarations(source: str) -> Tuple[Dict[str, CFunction], Dict[str, CStruct]]:
+    """Exported functions and typedef'd structs of one C translation unit."""
+    stripped = _strip_comments(source)
+
+    structs: Dict[str, CStruct] = {}
+    for match in _STRUCT_RE.finditer(stripped):
+        fields: List[Tuple[str, str]] = []
+        for raw_field in match.group("body").split(";"):
+            raw_field = raw_field.strip()
+            if not raw_field:
+                continue
+            fields.append(_split_declarator(raw_field))
+        structs[match.group("name")] = CStruct(
+            name=match.group("name"),
+            fields=tuple(fields),
+            line=_line_of(stripped, match.start()),
+        )
+
+    # Remove struct bodies (and any other brace block is fine to keep:
+    # the function regex is anchored at line starts, and kernel code is
+    # indented) so struct fields never parse as functions.
+    defunct = _STRUCT_RE.sub(lambda m: re.sub(r"[^\n]", " ", m.group(0)), stripped)
+
+    functions: Dict[str, CFunction] = {}
+    for match in _FUNCTION_RE.finditer(defunct):
+        return_tokens = match.group("ret").replace("*", " * ").split()
+        if not return_tokens or return_tokens[0] in {"typedef", "struct", "enum"}:
+            continue
+        is_static = "static" in return_tokens
+        return_tokens = [
+            token
+            for token in return_tokens
+            if token not in {"static", "inline", "extern"}
+        ]
+        if is_static or not return_tokens:
+            continue
+        params_text = match.group("params").strip()
+        params: List[Tuple[str, str]] = []
+        if params_text and params_text != "void":
+            for raw_param in params_text.split(","):
+                param_type, param_name = _split_declarator(raw_param.strip())
+                if param_type == "void":
+                    raise CParseError(
+                        f"unnamed void parameter in {match.group('name')}"
+                    )
+                params.append((param_type, param_name))
+        name = match.group("name")
+        function = CFunction(
+            name=name,
+            return_type=_canonical(return_tokens),
+            params=tuple(params),
+            line=_line_of(defunct, match.start()),
+        )
+        previous = functions.get(name)
+        if previous is not None and (
+            previous.return_type != function.return_type
+            or tuple(t for t, _ in previous.params)
+            != tuple(t for t, _ in function.params)
+        ):
+            raise CParseError(
+                f"prototype/definition mismatch for {name}: "
+                f"{previous.return_type}({len(previous.params)} params) vs "
+                f"{function.return_type}({len(function.params)} params)"
+            )
+        functions[name] = function
+    return functions, structs

@@ -1,0 +1,47 @@
+"""The repo-specific rules, one module each.
+
+===============  =============================================================
+rule             protects
+===============  =============================================================
+``abi-check``    the ctypes bindings never drift from ``kernel.c``'s exported
+                 signatures/struct layouts (silent ABI drift corrupts memory)
+``hash-once``    node/route hashing happens once at the system edge — never
+                 per item inside a routing or ingest loop
+``determinism``  placement-affecting code never iterates unordered sets or
+                 consumes unseeded randomness / wall-clock values
+``asyncio-safety``  the serve event loop never blocks: no sync sleeps/IO,
+                 no summary calls off the executor, no lock held across await
+``api-surface``  every registered sketch implements ``GraphSummary``; the
+                 deprecated ``-1.0`` sentinel stays dead; experiments build
+                 sketches through the factory only
+===============  =============================================================
+"""
+
+from typing import List
+
+from repro.devtools.checkers.abi import AbiChecker
+from repro.devtools.checkers.api_surface import ApiSurfaceChecker
+from repro.devtools.checkers.asyncio_safety import AsyncioSafetyChecker
+from repro.devtools.checkers.determinism import DeterminismChecker
+from repro.devtools.checkers.hash_once import HashOnceChecker
+from repro.devtools.framework import Checker
+
+__all__ = [
+    "AbiChecker",
+    "ApiSurfaceChecker",
+    "AsyncioSafetyChecker",
+    "DeterminismChecker",
+    "HashOnceChecker",
+    "default_checkers",
+]
+
+
+def default_checkers() -> List[Checker]:
+    """All five rules, in report order."""
+    return [
+        AbiChecker(),
+        HashOnceChecker(),
+        DeterminismChecker(),
+        AsyncioSafetyChecker(),
+        ApiSurfaceChecker(),
+    ]

@@ -1,0 +1,333 @@
+"""abi-check: the ctypes bindings must match ``kernel.c`` exactly.
+
+The native backend calls the compiled kernel through :mod:`ctypes`, which
+performs **no** signature checking: if ``kernel.c`` gains a parameter and
+the ``argtypes`` list in ``core/_native/__init__.py`` is not updated, the
+kernel reads garbage off the stack and the backend silently stops being
+bit-identical (or corrupts the room arrays).  This checker parses the
+exported C declarations with :mod:`repro.devtools.cdecl` and cross-checks
+them against the bindings:
+
+* every exported (non-``static``) C function must be bound, and every
+  bound name must still exist in the C source;
+* ``restype`` must match the C return type, ``argtypes`` must match the
+  parameter list position by position (pointers bind as ``c_void_p``, or
+  ``c_char_p`` for ``char``-family pointers);
+* every ``ctypes.Structure`` subclass in the binding module must mirror a
+  same-named C struct field for field, in order.
+
+Kernel/binding pairs are discovered from the scanned tree: any
+``kernel.c`` with a sibling ``__init__.py`` is checked, so fixture tests
+lint synthetic pairs the same way the repo pair is linted.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.cdecl import CParseError, parse_c_declarations
+from repro.devtools.framework import Checker, Project, PyFile, Violation
+
+__all__ = ["AbiChecker"]
+
+#: C scalar type → the one ctypes name that matches it.
+_SCALAR_CTYPES = {
+    "void": "None",
+    "int": "c_int",
+    "unsigned int": "c_uint",
+    "int8_t": "c_int8",
+    "uint8_t": "c_uint8",
+    "int16_t": "c_int16",
+    "uint16_t": "c_uint16",
+    "int32_t": "c_int32",
+    "uint32_t": "c_uint32",
+    "int64_t": "c_int64",
+    "uint64_t": "c_uint64",
+    "size_t": "c_size_t",
+    "float": "c_float",
+    "double": "c_double",
+    "char": "c_char",
+}
+
+_CHAR_POINTEES = {"char", "unsigned char", "signed char"}
+
+
+def _acceptable_ctypes(c_type: str) -> Tuple[str, ...]:
+    """ctypes names that correctly bind one canonical C type."""
+    if c_type.endswith("*"):
+        pointee = c_type[:-1].strip()
+        if pointee in _CHAR_POINTEES:
+            return ("c_void_p", "c_char_p", "POINTER")
+        return ("c_void_p", "POINTER")
+    scalar = _SCALAR_CTYPES.get(c_type)
+    return (scalar,) if scalar is not None else ()
+
+
+def _ctype_name(node: ast.AST) -> Optional[str]:
+    """``c.c_int64`` / ``ctypes.c_uint8`` / ``None`` → its short name."""
+    if isinstance(node, ast.Constant) and node.value is None:
+        return "None"
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):  # POINTER(x) binds any pointer
+        inner = _ctype_name(node.func)
+        return "POINTER" if inner == "POINTER" else inner
+    return None
+
+
+class _Binding:
+    """What one binding module declares for one C function."""
+
+    def __init__(self) -> None:
+        self.restype: Optional[str] = None
+        self.restype_line: int = 0
+        self.argtypes: Optional[List[str]] = None
+        self.argtypes_line: int = 0
+
+
+def _collect_bindings(pyfile: PyFile) -> Dict[str, _Binding]:
+    """``lib.<name>.restype/.argtypes`` assignments, wherever they appear."""
+    bindings: Dict[str, _Binding] = {}
+    for node in pyfile.walk():
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and target.attr in ("restype", "argtypes")
+            and isinstance(target.value, ast.Attribute)
+        ):
+            continue
+        function_name = target.value.attr
+        binding = bindings.setdefault(function_name, _Binding())
+        if target.attr == "restype":
+            binding.restype = _ctype_name(node.value) or "?"
+            binding.restype_line = node.lineno
+        else:
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                binding.argtypes = [
+                    _ctype_name(element) or "?" for element in node.value.elts
+                ]
+            else:
+                binding.argtypes = None
+            binding.argtypes_line = node.lineno
+    return bindings
+
+
+def _collect_structures(pyfile: PyFile) -> Dict[str, Tuple[int, List[Tuple[str, str]]]]:
+    """``ctypes.Structure`` subclasses → (line, ``_fields_`` pairs)."""
+    structures: Dict[str, Tuple[int, List[Tuple[str, str]]]] = {}
+    for node in pyfile.walk():
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(
+            (isinstance(base, ast.Attribute) and base.attr == "Structure")
+            or (isinstance(base, ast.Name) and base.id == "Structure")
+            for base in node.bases
+        ):
+            continue
+        fields: List[Tuple[str, str]] = []
+        for statement in node.body:
+            if not (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == "_fields_"
+                and isinstance(statement.value, (ast.List, ast.Tuple))
+            ):
+                continue
+            for element in statement.value.elts:
+                if isinstance(element, (ast.Tuple, ast.List)) and len(element.elts) >= 2:
+                    name_node, type_node = element.elts[0], element.elts[1]
+                    field_name = (
+                        name_node.value
+                        if isinstance(name_node, ast.Constant)
+                        else "?"
+                    )
+                    fields.append((str(field_name), _ctype_name(type_node) or "?"))
+        structures[node.name.lstrip("_")] = (node.lineno, fields)
+    return structures
+
+
+class AbiChecker(Checker):
+    rule = "abi-check"
+    description = (
+        "ctypes argtypes/restype/Structure bindings match the exported "
+        "declarations in kernel.c"
+    )
+    scope = ("_native",)
+
+    #: Override for fixture tests: explicit (kernel.c, binding.py) pairs.
+    def __init__(self, pairs: Optional[List[Tuple[Path, Path]]] = None) -> None:
+        self._pairs = pairs
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        if self._pairs is not None:
+            for kernel_path, binding_path in self._pairs:
+                kernel_rel = kernel_path.as_posix()
+                binding = PyFile(
+                    binding_path,
+                    binding_path.as_posix(),
+                    binding_path.read_text(encoding="utf-8"),
+                )
+                yield from self._check_pair(
+                    kernel_path.read_text(encoding="utf-8"), kernel_rel, binding
+                )
+            return
+        by_path = {pyfile.path: pyfile for pyfile in project.py_files}
+        for c_path, c_rel in project.c_files:
+            if c_path.name != "kernel.c":
+                continue
+            binding = by_path.get(c_path.parent / "__init__.py")
+            if binding is None or binding.tree is None:
+                yield Violation(
+                    rule=self.rule,
+                    path=c_rel,
+                    line=1,
+                    message="kernel.c has no parseable sibling __init__.py binding",
+                )
+                continue
+            yield from self._check_pair(
+                c_path.read_text(encoding="utf-8"), c_rel, binding
+            )
+
+    def _check_pair(
+        self, c_source: str, c_rel: str, binding: PyFile
+    ) -> Iterator[Violation]:
+        try:
+            functions, structs = parse_c_declarations(c_source)
+        except CParseError as error:
+            yield Violation(
+                rule=self.rule,
+                path=c_rel,
+                line=1,
+                message=f"cannot parse C declarations: {error}",
+            )
+            return
+        bindings = _collect_bindings(binding)
+
+        for name, function in sorted(functions.items()):
+            bound = bindings.get(name)
+            if bound is None:
+                yield Violation(
+                    rule=self.rule,
+                    path=c_rel,
+                    line=function.line,
+                    message=(
+                        f"exported function {name}() has no ctypes binding in "
+                        f"{binding.rel}"
+                    ),
+                )
+                continue
+            expected_ret = _acceptable_ctypes(function.return_type)
+            if bound.restype is None:
+                yield Violation(
+                    rule=self.rule,
+                    path=binding.rel,
+                    line=bound.argtypes_line or 1,
+                    message=f"{name}: argtypes bound but restype never set",
+                )
+            elif expected_ret and bound.restype not in expected_ret:
+                yield Violation(
+                    rule=self.rule,
+                    path=binding.rel,
+                    line=bound.restype_line,
+                    message=(
+                        f"{name}: restype {bound.restype} does not match C "
+                        f"return type `{function.return_type}` "
+                        f"(expected {' or '.join(expected_ret)})"
+                    ),
+                )
+            if bound.argtypes is None:
+                yield Violation(
+                    rule=self.rule,
+                    path=binding.rel,
+                    line=bound.restype_line or 1,
+                    message=f"{name}: restype bound but argtypes never set",
+                )
+                continue
+            if len(bound.argtypes) != len(function.params):
+                yield Violation(
+                    rule=self.rule,
+                    path=binding.rel,
+                    line=bound.argtypes_line,
+                    message=(
+                        f"{name}: argtypes has {len(bound.argtypes)} entries "
+                        f"but the C declaration takes {len(function.params)} "
+                        f"parameters"
+                    ),
+                )
+                continue
+            for position, ((c_type, c_name), ctype) in enumerate(
+                zip(function.params, bound.argtypes)
+            ):
+                acceptable = _acceptable_ctypes(c_type)
+                if acceptable and ctype not in acceptable:
+                    yield Violation(
+                        rule=self.rule,
+                        path=binding.rel,
+                        line=bound.argtypes_line,
+                        message=(
+                            f"{name}: argtypes[{position}] is {ctype} but C "
+                            f"parameter `{c_type} {c_name}` expects "
+                            f"{' or '.join(acceptable)}"
+                        ),
+                    )
+
+        for name, bound in sorted(bindings.items()):
+            if name not in functions:
+                yield Violation(
+                    rule=self.rule,
+                    path=binding.rel,
+                    line=bound.restype_line or bound.argtypes_line or 1,
+                    message=(
+                        f"binding for {name}() has no exported counterpart in "
+                        f"{c_rel} (stale binding or renamed kernel function)"
+                    ),
+                )
+
+        for struct_name, (line, fields) in sorted(
+            _collect_structures(binding).items()
+        ):
+            c_struct = structs.get(struct_name)
+            if c_struct is None:
+                yield Violation(
+                    rule=self.rule,
+                    path=binding.rel,
+                    line=line,
+                    message=(
+                        f"ctypes.Structure {struct_name} has no struct "
+                        f"{struct_name} in {c_rel}"
+                    ),
+                )
+                continue
+            c_fields = list(c_struct.fields)
+            if [name for _, name in c_fields] != [name for name, _ in fields]:
+                yield Violation(
+                    rule=self.rule,
+                    path=binding.rel,
+                    line=line,
+                    message=(
+                        f"{struct_name}: field names/order "
+                        f"{[name for name, _ in fields]} do not match C layout "
+                        f"{[name for _, name in c_fields]}"
+                    ),
+                )
+                continue
+            for (field_name, ctype), (c_type, _) in zip(fields, c_fields):
+                acceptable = _acceptable_ctypes(c_type)
+                if acceptable and ctype not in acceptable:
+                    yield Violation(
+                        rule=self.rule,
+                        path=binding.rel,
+                        line=line,
+                        message=(
+                            f"{struct_name}.{field_name}: bound as {ctype} but "
+                            f"C field is `{c_type}` "
+                            f"(expected {' or '.join(acceptable)})"
+                        ),
+                    )

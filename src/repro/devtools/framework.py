@@ -1,0 +1,347 @@
+"""The checker framework: file model, registry, suppressions, reports.
+
+Design
+------
+
+* A :class:`Project` is the parsed view of everything under the scanned
+  paths: every ``.py`` file as a :class:`PyFile` (source + AST + parent
+  map), every other tracked file (``.c``) by path.  Checkers never touch
+  the filesystem themselves, so the whole suite runs off one read pass
+  and fixture tests can lint synthetic trees.
+* A :class:`Checker` owns one *rule* (``abi-check``, ``hash-once``, ...)
+  and declares the path components it applies to (``scope``); the driver
+  calls :meth:`Checker.check_project` once per run.  Per-file checkers
+  override :meth:`Checker.check_file` and inherit the scope iteration.
+* Suppressions are inline comments::
+
+      risky_line()  # repro: allow(hash-once): one-shot setup partition
+
+  A suppression silences its rule on its own physical line; written on a
+  comment-only line it anchors to the next code line, so justifications
+  too long for an inline comment go on the line(s) above.  It must carry
+  a justification after the colon — a bare ``allow(rule)`` is itself
+  reported (rule ``suppression``), so every exception in the tree is
+  documented.  ``.c`` files use the same marker inside a comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Checker",
+    "LintReport",
+    "Project",
+    "PyFile",
+    "Violation",
+    "iter_parents",
+]
+
+#: ``# repro: allow(<rule>, <rule>): why this is fine`` — the justification
+#: group is optional in the regex so bare suppressions can be *reported*
+#: instead of silently accepted.
+_ALLOW_RE = re.compile(
+    r"#?\s*repro:\s*allow\(\s*(?P<rules>[A-Za-z0-9_,\s-]+?)\s*\)"
+    r"(?::\s*(?P<why>\S.*?))?\s*(?:\*/)?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and what drifted."""
+
+    rule: str
+    path: str  # project-relative posix path
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """An inline ``repro: allow(...)`` marker found on one source line."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    justification: Optional[str]
+
+
+class PyFile:
+    """One parsed Python source file plus its AST parent map."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            self.parse_error = error
+
+    @property
+    def components(self) -> Tuple[str, ...]:
+        """Path components, the unit scope matching works on."""
+        return tuple(Path(self.rel).parts)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (built lazily, cached per file)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            assert self.tree is not None
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    parents[child] = outer
+            self._parents = parents
+        return self._parents.get(node)
+
+    def walk(self) -> Iterator[ast.AST]:
+        if self.tree is None:
+            return iter(())
+        return ast.walk(self.tree)
+
+
+def iter_parents(pyfile: PyFile, node: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``node``'s ancestors, innermost first."""
+    current = pyfile.parent(node)
+    while current is not None:
+        yield current
+        current = pyfile.parent(current)
+
+
+class Project:
+    """Everything the linter read: parsed python files + raw ``.c`` files."""
+
+    def __init__(self, root: Path, py_files: List[PyFile], c_files: List[Tuple[Path, str]]):
+        self.root = root
+        self.py_files = py_files
+        #: ``(absolute path, project-relative posix path)`` pairs.
+        self.c_files = c_files
+
+    @classmethod
+    def load(cls, paths: Sequence[Path]) -> "Project":
+        """Read every ``.py``/``.c`` file under ``paths`` (files or dirs)."""
+        roots = [Path(p).resolve() for p in paths]
+        anchor = _common_anchor(roots)
+        py_files: List[PyFile] = []
+        c_files: List[Tuple[Path, str]] = []
+        seen: Set[Path] = set()
+        for root in roots:
+            candidates = [root] if root.is_file() else sorted(root.rglob("*"))
+            for candidate in candidates:
+                if candidate in seen or not candidate.is_file():
+                    continue
+                seen.add(candidate)
+                rel = _relative(candidate, anchor)
+                if candidate.suffix == ".py":
+                    source = candidate.read_text(encoding="utf-8")
+                    py_files.append(PyFile(candidate, rel, source))
+                elif candidate.suffix == ".c":
+                    c_files.append((candidate, rel))
+        return cls(anchor, py_files, c_files)
+
+    def scoped(self, scope: Optional[Tuple[str, ...]]) -> Iterator[PyFile]:
+        """Python files whose path contains any scope component.
+
+        ``scope`` entries are either directory components (``"serve"``
+        matches any file under a ``serve/`` directory at any depth) or
+        file names (``"cli.py"``).  ``None`` means every file.
+        """
+        for pyfile in self.py_files:
+            if scope is None or _in_scope(pyfile.components, scope):
+                yield pyfile
+
+    def suppressions(self) -> Iterator[Suppression]:
+        """Every ``repro: allow`` marker in the tree (python and C)."""
+        for pyfile in self.py_files:
+            yield from _scan_suppressions(pyfile.rel, pyfile.lines)
+        for path, rel in self.c_files:
+            yield from _scan_suppressions(
+                rel, path.read_text(encoding="utf-8").splitlines()
+            )
+
+
+def _in_scope(components: Tuple[str, ...], scope: Tuple[str, ...]) -> bool:
+    return any(entry in components for entry in scope)
+
+
+def _common_anchor(roots: List[Path]) -> Path:
+    if not roots:
+        return Path.cwd()
+    anchor = roots[0] if roots[0].is_dir() else roots[0].parent
+    for root in roots[1:]:
+        base = root if root.is_dir() else root.parent
+        while not str(base).startswith(str(anchor)) and anchor != anchor.parent:
+            anchor = anchor.parent
+    return anchor
+
+
+def _relative(path: Path, anchor: Path) -> str:
+    try:
+        return path.relative_to(anchor).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+#: Line prefixes that mark a comment-only line (python and C comments).
+_COMMENT_PREFIXES = ("#", "//", "/*", "*")
+
+
+def _scan_suppressions(rel: str, lines: List[str]) -> Iterator[Suppression]:
+    for number, text in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        anchor = number
+        if text.lstrip().startswith(_COMMENT_PREFIXES):
+            # A standalone comment suppresses the next code line, so long
+            # justifications can live above the code they excuse.
+            for forward in range(number, len(lines)):
+                candidate = lines[forward].strip()
+                if candidate and not candidate.startswith(_COMMENT_PREFIXES):
+                    anchor = forward + 1
+                    break
+        yield Suppression(rel, anchor, rules, match.group("why"))
+
+
+class Checker:
+    """Base class: one rule, one scope, one pass over the project."""
+
+    #: Rule identifier, used in reports and ``allow(...)`` markers.
+    rule: str = ""
+    #: One-line description for ``--list-rules``.
+    description: str = ""
+    #: Path components/filenames this rule applies to; ``None`` = all files.
+    scope: Optional[Tuple[str, ...]] = None
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        for pyfile in project.scoped(self.scope):
+            if pyfile.tree is None:
+                continue  # reported once by the driver, not per rule
+            yield from self.check_file(pyfile)
+
+    def check_file(self, pyfile: PyFile) -> Iterator[Violation]:
+        return iter(())
+
+    def violation(self, pyfile: PyFile, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.rule,
+            path=pyfile.rel,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run, after suppression filtering."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    checked_files: int = 0
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "rules": self.rules,
+            "violations": [violation.to_dict() for violation in self.violations],
+            "suppressed": [violation.to_dict() for violation in self.suppressed],
+        }
+
+
+def run_checkers(
+    project: Project,
+    checkers: Sequence[Checker],
+    known_rules: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Run every checker, then apply (and police) inline suppressions.
+
+    ``known_rules`` is the universe of valid rule names for ``allow()``
+    validation; it defaults to the rules being run, but a ``--rules``
+    subset run should pass the full registry so suppressions of
+    unselected rules are not misreported as unknown.
+    """
+    report = LintReport(
+        checked_files=len(project.py_files),
+        rules=[checker.rule for checker in checkers],
+    )
+    raw: List[Violation] = []
+    for pyfile in project.py_files:
+        if pyfile.parse_error is not None:
+            raw.append(
+                Violation(
+                    rule="parse-error",
+                    path=pyfile.rel,
+                    line=pyfile.parse_error.lineno or 0,
+                    message=f"could not parse: {pyfile.parse_error.msg}",
+                )
+            )
+    for checker in checkers:
+        raw.extend(checker.check_project(project))
+
+    known = set(known_rules if known_rules is not None else report.rules)
+    known |= {"parse-error", "suppression"}
+    allowed: Dict[Tuple[str, int], Set[str]] = {}
+    for suppression in project.suppressions():
+        if suppression.justification is None:
+            raw.append(
+                Violation(
+                    rule="suppression",
+                    path=suppression.path,
+                    line=suppression.line,
+                    message=(
+                        "suppression without justification — write "
+                        "`# repro: allow("
+                        + ", ".join(suppression.rules)
+                        + "): <why this is safe>`"
+                    ),
+                )
+            )
+            continue
+        unknown = [rule for rule in suppression.rules if rule not in known]
+        if unknown:
+            raw.append(
+                Violation(
+                    rule="suppression",
+                    path=suppression.path,
+                    line=suppression.line,
+                    message=f"allow() names unknown rule(s): {', '.join(unknown)}",
+                )
+            )
+        allowed.setdefault((suppression.path, suppression.line), set()).update(
+            suppression.rules
+        )
+
+    for violation in sorted(raw, key=lambda v: (v.path, v.line, v.rule)):
+        if violation.rule in allowed.get((violation.path, violation.line), ()):
+            report.suppressed.append(violation)
+        else:
+            report.violations.append(violation)
+    return report

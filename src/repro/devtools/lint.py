@@ -1,0 +1,105 @@
+"""Command-line driver: ``python -m repro.devtools.lint src/``.
+
+Exit status is 0 when no violations survive suppression filtering, 1
+otherwise (2 for usage errors), so the command slots directly into CI.
+``--json`` emits the full machine-readable report, ``--rules`` narrows the
+run to a comma-separated subset, ``--list-rules`` documents the suite.
+
+The programmatic surface for tests is :func:`run_lint`, which takes paths
+plus an optional explicit checker list and returns the
+:class:`~repro.devtools.framework.LintReport`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.checkers import default_checkers
+from repro.devtools.framework import Checker, LintReport, Project, run_checkers
+
+__all__ = ["main", "run_lint"]
+
+
+def run_lint(
+    paths: Sequence[Path],
+    checkers: Optional[Sequence[Checker]] = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) and return the report."""
+    project = Project.load(paths)
+    return run_checkers(
+        project,
+        list(checkers or default_checkers()),
+        known_rules=[checker.rule for checker in default_checkers()],
+    )
+
+
+def _select(names: str) -> Sequence[Checker]:
+    available = {checker.rule: checker for checker in default_checkers()}
+    selected = []
+    for name in names.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in available:
+            raise SystemExit(
+                f"unknown rule {name!r}; available: {', '.join(sorted(available))}"
+            )
+        selected.append(available[name])
+    if not selected:
+        raise SystemExit("--rules selected nothing")
+    return selected
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="repro invariant lint suite (see repro.devtools).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--rules", default=None, help="comma-separated subset of rules to run"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        for checker in default_checkers():
+            print(f"{checker.rule:15s} {checker.description}")
+        print(f"{'suppression':15s} allow() markers must carry a justification")
+        return 0
+
+    paths = [Path(p) for p in arguments.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    checkers = _select(arguments.rules) if arguments.rules else default_checkers()
+    report = run_lint(paths, checkers)
+
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for violation in report.violations:
+            print(violation.format())
+        summary = (
+            f"{len(report.violations)} violation(s), "
+            f"{len(report.suppressed)} suppressed, "
+            f"{report.checked_files} file(s) checked, "
+            f"rules: {', '.join(report.rules)}"
+        )
+        print(("FAIL " if report.violations else "OK ") + summary)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,9 @@ from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Set, Tupl
 
 #: Sentinel returned by the deprecated sentinel edge queries when the edge is
 #: not present (the paper's convention).
+# repro: allow(api-surface): deprecated compatibility shim — the one
+# place the paper's sentinel is still spelled out, kept so old callers
+# get a DeprecationWarning instead of a breakage.
 EDGE_NOT_FOUND: float = -1.0
 
 #: Sentinel set returned by the paper for empty successor/precursor results.

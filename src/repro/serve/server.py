@@ -219,7 +219,10 @@ class SummaryServer:
             else:
                 await self._run(self._flush_and_checkpoint)
         finally:
-            self._executor.shutdown(wait=True)
+            # shutdown(wait=True) joins the summary worker thread; parking
+            # the join on the default executor keeps the loop free to
+            # finish draining connection writers during teardown.
+            await self._loop.run_in_executor(None, self._executor.shutdown)
             self._stopped.set()
 
     def _flush_and_checkpoint(self) -> None:

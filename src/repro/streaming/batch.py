@@ -110,8 +110,11 @@ def _hash_lookup(
             hashed_values = hashed_values % np.uint64(value_range)
         hashed = hashed_values.tolist()
     elif value_range is None:
+        # repro: allow(hash-once): this IS the hash-once edge — the memo
+        # miss path computes each distinct key's hash exactly once here.
         hashed = [hash_key(key, seed) for key in missing]
     else:
+        # repro: allow(hash-once): same hash-once edge, range-reduced.
         hashed = [hash_key(key, seed) % value_range for key in missing]
     if len(memo) + len(missing) <= MEMO_LIMIT:
         memo.update(zip(missing, hashed))

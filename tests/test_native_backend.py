@@ -298,3 +298,47 @@ class TestScalarTailKnob:
         assert document["config"]["scalar_tail_threshold"] == 13
         restored = sketch_from_dict(document)
         assert restored.config.scalar_tail_threshold == 13
+
+
+class TestCompileFlags:
+    """The kernel build is strict by construction, and the sanitize mode
+    is a first-class flavor of the same cache."""
+
+    def test_default_flags_are_warning_strict(self):
+        from repro.core import _native
+
+        flags = _native.compile_flags()
+        assert "-Wall" in flags and "-Wextra" in flags
+        assert "-O3" in flags
+        assert not any(flag.startswith("-fsanitize") for flag in flags)
+
+    def test_sanitize_mode_selects_asan_ubsan_flags(self, monkeypatch):
+        from repro.core import _native
+
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "1")
+        flags = _native.compile_flags()
+        assert "-fsanitize=address,undefined" in flags
+        assert "-fno-sanitize-recover=all" in flags
+        assert "-Werror" in flags and "-Wall" in flags and "-Wextra" in flags
+
+    def test_flag_flavors_key_separate_cache_entries(self, monkeypatch):
+        from repro.core import _native
+
+        default_tag = _native._source_tag()
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "1")
+        assert _native._source_tag() != default_tag
+
+    def test_sanitize_without_asan_preload_degrades_cleanly(self, monkeypatch):
+        from repro.core import _native
+
+        monkeypatch.setenv("REPRO_NATIVE_SANITIZE", "1")
+        monkeypatch.delenv("LD_PRELOAD", raising=False)
+        _native._reset_for_tests()
+        try:
+            with pytest.raises(_native.NativeUnavailable, match="ASan runtime"):
+                _native.load_native()
+            assert not _native.native_available()
+        finally:
+            # Drop the cached failure so later tests re-probe with the
+            # default (non-sanitized) flavor.
+            _native._reset_for_tests()
