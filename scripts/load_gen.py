@@ -8,6 +8,11 @@ pressure, RSS before/after, and — with ``--verify`` — a sweep proving every
 served answer bit-identical to an in-process ``ShardedSummary`` fed the same
 stream.
 
+The ``server.op_latency_ms`` section comes from the server's own
+``repro_serve_request_seconds`` histograms, scraped before and after the run
+and diffed — so next to the client-side round-trip percentiles you see where
+the time actually went server-side (frame decode → reply ready, per op).
+
 Point it at a running server::
 
     PYTHONPATH=src python -m repro serve --workers 2 --port 8750 &
@@ -131,6 +136,22 @@ def main(argv=None) -> int:
             cluster.close()
 
     print(json.dumps(report, indent=2))
+    op_latency = report.get("server", {}).get("op_latency_ms")
+    if op_latency:
+        client_query = report.get("query", {})
+        print("server-side latency (this run, from server histograms):",
+              file=sys.stderr)
+        for op, stats in sorted(op_latency.items()):
+            p50 = stats.get("p50_ms")
+            p99 = stats.get("p99_ms")
+            print(f"  {op:<18} count={stats['count']:<8} "
+                  f"p50={p50:.3f}ms p99={p99:.3f}ms",
+                  file=sys.stderr)
+        if client_query.get("p50_ms") is not None:
+            print(f"  client round-trip  count={client_query['count']:<8} "
+                  f"p50={client_query['p50_ms']:.3f}ms "
+                  f"p99={client_query['p99_ms']:.3f}ms",
+                  file=sys.stderr)
     if args.verify and not report.get("verify", {}).get("ok"):
         print("verification FAILED", file=sys.stderr)
         return 1

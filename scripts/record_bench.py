@@ -33,7 +33,10 @@ directly) and the p50/p99 served query latency.
 
 With ``--profile`` each backend's run also records where batched-ingest time
 goes (hashing / placement / buffer-spill / memo upkeep, totals and per
-batch) under ``results.<backend>.ingest_profile``.
+batch) under ``results.<backend>.ingest_profile`` — plus, from the
+:mod:`repro.obs` registry the profiler forwards into, per-stage latency
+*distributions* (count, total, p50/p99) under
+``results.<backend>.obs_stage_seconds``.
 """
 
 from __future__ import annotations
@@ -194,6 +197,37 @@ def structure_rates(rows, structure: str) -> dict:
     }
 
 
+def obs_stage_document(obs_registry) -> dict:
+    """Per-stage ingest *distributions* from the obs registry.
+
+    The legacy ``ingest_profile`` dict carries stage totals; this rides
+    along with per-stage count/total plus p50/p99 estimated from the
+    ``repro_ingest_stage_seconds`` histogram buckets.
+    """
+    from repro.metrics.ingest_profile import STAGE_FAMILY
+    from repro.obs.registry import histogram_quantile
+
+    snapshot = obs_registry.snapshot()
+    family = snapshot["families"].get(STAGE_FAMILY)
+    if family is None:
+        return {}
+    bounds = family.get("buckets") or []
+    stages = {}
+    for series in family["series"].values():
+        count = series.get("count", 0)
+        if not count:
+            continue
+        p50 = histogram_quantile(bounds, series["counts"], 0.50)
+        p99 = histogram_quantile(bounds, series["counts"], 0.99)
+        stages[series["labels"].get("stage", "")] = {
+            "count": count,
+            "total_seconds": series["sum"],
+            "p50_seconds": p50,
+            "p99_seconds": p99,
+        }
+    return dict(sorted(stages.items()))
+
+
 def update_many_rates(rows) -> dict:
     return structure_rates(rows, "GSS(update_many)")
 
@@ -236,11 +270,16 @@ def main(argv=None) -> int:
         print(f"== running tab1 on backend={backend} ==", flush=True)
         if args.profile:
             from repro.metrics.ingest_profile import profile_ingest
+            from repro.obs import trace as obs_trace
 
-            with profile_ingest() as profile:
+            # The obs registry records the same stage timings as latency
+            # *histograms* (IngestProfile.add forwards into it), so the
+            # bench document carries per-stage distributions, not just sums.
+            with profile_ingest() as profile, obs_trace.scoped() as obs_registry:
                 result = run_update_speed_experiment(config)
         else:
             profile = None
+            obs_registry = None
             result = run_update_speed_experiment(config)
         print(result.to_text())
         print()
@@ -250,6 +289,9 @@ def main(argv=None) -> int:
             # (the scalar GSS(update) rows and non-GSS structures have no
             # batched stages to attribute).
             run_entry["results"][backend]["ingest_profile"] = profile.as_dict()
+            run_entry["results"][backend]["obs_stage_seconds"] = (
+                obs_stage_document(obs_registry)
+            )
             total = sum(profile.stages.values())
             shares = ", ".join(
                 f"{stage} {seconds / total:.0%}"

@@ -30,6 +30,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Union
 
 from repro.api.protocol import GraphSummary
 from repro.api.registry import SketchSpec, SpecSizingError, build
+from repro.obs import trace as _obs
 from repro.streaming.batch import HashedBatch, HashSpec
 
 __all__ = ["IngestReport", "StreamSession"]
@@ -217,20 +218,21 @@ class StreamSession:
             # items, scalar summaries get a star-unpacked loop (so a windowed
             # summary's timestamp — the optional fourth element — reaches
             # update() instead of being dropped).
-            batch = HashedBatch.from_items(
-                raw_chunk,
-                hash_spec,
-                node_memo=self._node_memo,
-                route_memo=self._route_memo,
-                keep_timestamps=windowed,
-            )
-            if hash_spec is not None:
-                update_many_hashed(batch)
-            elif update_many is not None:
-                update_many(batch.items())
-            else:
-                for item in batch.items():
-                    summary.update(*item)
+            with _obs.span("session.feed.batch"):
+                batch = HashedBatch.from_items(
+                    raw_chunk,
+                    hash_spec,
+                    node_memo=self._node_memo,
+                    route_memo=self._route_memo,
+                    keep_timestamps=windowed,
+                )
+                if hash_spec is not None:
+                    update_many_hashed(batch)
+                elif update_many is not None:
+                    update_many(batch.items())
+                else:
+                    for item in batch.items():
+                        summary.update(*item)
             report.items += len(batch)
             report.batches += 1
             report.seconds = time.perf_counter() - started
@@ -251,6 +253,17 @@ class StreamSession:
         if callable(barrier):
             barrier()
         report.seconds = time.perf_counter() - started
+        registry = _obs.active()
+        if registry is not None:
+            # Whole-feed span, recorded from the already-measured report
+            # duration (includes the pipelined flush barrier above).
+            registry.histogram(
+                _obs.SPAN_FAMILY, span="session.feed"
+            ).observe(report.seconds)
+            registry.counter(
+                "repro_session_items_total",
+                "Stream items fed through StreamSession.feed.",
+            ).inc(report.items)
         if shard_stats is not None:
             after = shard_stats()
             report.shard_items = [

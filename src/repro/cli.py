@@ -21,6 +21,13 @@ SIGINT/SIGTERM (draining in-flight batches and, with ``--checkpoint-dir``,
 checkpointing before exit).  It has its own flag set — see
 ``python -m repro serve --help``.
 
+``obs`` inspects :mod:`repro.obs` telemetry: ``python -m repro obs --port
+8750`` scrapes a running server's ``/metrics`` and pretty-prints the
+instrument snapshot (counters, gauges, latency histograms with p50/p99
+estimates); ``--file`` reads a dumped document instead, and
+``--check-prometheus PATH|-`` validates a Prometheus text exposition (the
+CI serve smoke leg pipes ``curl -H 'Accept: text/plain'`` through it).
+
 Every sketch the runners construct goes through :func:`repro.api.build`; the
 CLI never instantiates a summary class directly.
 """
@@ -348,6 +355,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--restore", action="store_true",
                         help="restore the cluster from --checkpoint-dir "
                              "before serving")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable cluster telemetry (the obs key on "
+                             "/metrics and the Prometheus exposition)")
     return parser
 
 
@@ -389,6 +399,7 @@ def _run_serve(argv: List[str]) -> int:
             max_inflight=args.max_inflight,
             retry_after=args.retry_after,
             checkpoint_dir=args.checkpoint_dir,
+            obs=not args.no_obs,
         ),
     )
 
@@ -409,11 +420,78 @@ def _run_serve(argv: List[str]) -> int:
     return 0
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    """The ``obs`` sub-command's own parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gss obs",
+        description="Inspect repro.obs telemetry: pretty-print the instrument "
+        "snapshot of a running server (or of a dumped /metrics document), or "
+        "validate a Prometheus text exposition.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server to scrape (default loopback)")
+    parser.add_argument("--port", type=int, default=8750,
+                        help="server port (default 8750, the serve default)")
+    parser.add_argument("--file", default=None, metavar="PATH",
+                        help="read a JSON document from PATH instead of "
+                             "scraping a server (either a full /metrics "
+                             "document or a bare obs snapshot)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also dump the raw snapshot as JSON to PATH "
+                             "('-' prints to stdout)")
+    parser.add_argument("--check-prometheus", default=None, metavar="PATH",
+                        help="parse and validate a Prometheus text exposition "
+                             "read from PATH ('-' reads stdin), then exit; "
+                             "non-zero exit on malformed input")
+    return parser
+
+
+def _run_obs(argv: List[str]) -> int:
+    """The ``obs`` sub-command: pretty-print or validate telemetry."""
+    from repro.obs.export import describe_snapshot, validate_prometheus
+
+    args = build_obs_parser().parse_args(argv)
+    if args.check_prometheus is not None:
+        if args.check_prometheus == "-":
+            text = sys.stdin.read()
+        else:
+            text = Path(args.check_prometheus).read_text(encoding="utf-8")
+        try:
+            families = validate_prometheus(text)
+        except ValueError as error:
+            print(f"invalid prometheus exposition: {error}", file=sys.stderr)
+            return 1
+        print(f"prometheus exposition OK: {len(families)} families")
+        return 0
+    if args.file is not None:
+        document = json.loads(Path(args.file).read_text(encoding="utf-8"))
+    else:
+        from repro.serve.client import fetch_http_metrics
+
+        document = fetch_http_metrics(args.host, args.port)
+    # Accept both shapes: a full /metrics document carrying an "obs" key,
+    # or a bare registry snapshot dumped by some other tool.
+    snapshot = document.get("obs") if "families" not in document else document
+    if not snapshot or "families" not in snapshot:
+        print(
+            "no obs snapshot in the document (server running with "
+            "obs disabled?)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json is not None:
+        _write_json(snapshot, args.json)
+    print(describe_snapshot(snapshot))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro-gss`` script."""
     raw_argv = sys.argv[1:] if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "serve":
         return _run_serve(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "obs":
+        return _run_obs(raw_argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "sketches":

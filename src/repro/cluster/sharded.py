@@ -35,6 +35,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 from collections import deque
+from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.cluster.transport import (
@@ -45,6 +46,8 @@ from repro.cluster.transport import (
 )
 from repro.cluster.worker import worker_main
 from repro.hashing.hash_functions import hash_key
+from repro.obs import trace as obs_trace
+from repro.obs.registry import MetricsRegistry, merge_snapshots
 from repro.queries.primitives import Capabilities, ShardIngestStats, SummaryShims
 from repro.streaming.batch import HashedBatch, HashSpec
 
@@ -94,10 +97,15 @@ class _WorkerHandle:
         snapshot_backend=None,
         transport: str = "pipe",
         ring_bytes: int = DEFAULT_RING_BYTES,
+        obs_enabled: bool = False,
     ) -> None:
         parent_end, child_end = context.Pipe(duplex=True)
         self.worker_id = worker_id
         self.max_pending = max_pending
+        #: Parent-side obs instruments, attached by the cluster when its
+        #: telemetry is on (``None`` keeps the data plane at one branch).
+        self.obs_queue_wait = None
+        self.obs_items = None
         self.shm = None
         self._ring: Optional[RingAllocator] = None
         if transport == "shm":
@@ -114,6 +122,7 @@ class _WorkerHandle:
                 snapshot,
                 snapshot_backend,
                 self.shm.name if self.shm is not None else None,
+                obs_enabled,
             ),
             daemon=True,
             name=f"repro-shard-{worker_id}",
@@ -193,12 +202,20 @@ class _WorkerHandle:
         self.pending += 1
         self._reservations.append(reservation)
         self.items_routed += item_count
+        if self.obs_items is not None:
+            self.obs_items.inc(item_count)
         if self.pending > self.high_water:
             self.high_water = self.pending
         while self.pending and self.conn.poll():
             self._take_reply()
-        while self.pending > self.max_pending:
-            self._take_reply()
+        if self.pending > self.max_pending:
+            # The back-pressure stall: how long routing blocked on this
+            # shard draining its queue — the cluster's queue-wait series.
+            waited = perf_counter() if self.obs_queue_wait is not None else None
+            while self.pending > self.max_pending:
+                self._take_reply()
+            if waited is not None:
+                self.obs_queue_wait.observe(perf_counter() - waited)
 
     def send_batch(self, items: List[Tuple[Hashable, Hashable, float]]) -> None:
         """Queue one plain triple batch (summaries without hashed ingest)."""
@@ -216,9 +233,17 @@ class _WorkerHandle:
         if self._ring is not None:
             payload = encode_hashed_batch(batch)
             allocated = self._ring.alloc(len(payload))
-            while allocated is None and self.pending:
-                self._take_reply()
-                allocated = self._ring.alloc(len(payload))
+            if allocated is None and self.pending:
+                # Ring-full stall: counted into the same queue-wait series
+                # as the pipe back-pressure drain above.
+                waited = (
+                    perf_counter() if self.obs_queue_wait is not None else None
+                )
+                while allocated is None and self.pending:
+                    self._take_reply()
+                    allocated = self._ring.alloc(len(payload))
+                if waited is not None:
+                    self.obs_queue_wait.observe(perf_counter() - waited)
             if allocated is not None:
                 offset, reservation = allocated
                 self.shm.buf[offset : offset + len(payload)] = payload
@@ -381,6 +406,14 @@ class ShardedSummary(SummaryShims):
         self._lock = threading.RLock()
         self._transport = resolve_transport(transport)
         self._context = _pick_context(start_method)
+        # Cluster telemetry: adopted from the globally-enabled registry when
+        # one is active at construction time, or installed later through
+        # :meth:`enable_obs` (the serve front end's path).  Workers record
+        # into their own process-local registries; the parent caches their
+        # snapshots on every flush so :meth:`obs_snapshot` never has to touch
+        # a pipe.
+        self._obs = obs_trace.active()
+        self._obs_worker_cache: Optional[Dict] = None
         self._handles: List[_WorkerHandle] = []
         try:
             for worker_id in range(workers):
@@ -399,11 +432,14 @@ class ShardedSummary(SummaryShims):
                         snapshot_backend=snapshot_backend,
                         transport=self._transport,
                         ring_bytes=ring_bytes,
+                        obs_enabled=self._obs is not None,
                     )
                 )
         except Exception:
             self.close()
             raise
+        if self._obs is not None:
+            self._attach_obs_instruments()
         # The workers report their summary's hash spec in the build
         # handshake; when present, the client hashes every batch exactly
         # once (node + routing hashes, vectorized when NumPy is available)
@@ -510,14 +546,16 @@ class ShardedSummary(SummaryShims):
                     route_memo=self._route_memo,
                 )
             count = 0
-            for shard, sub_batch in batch.split_by_route(self.workers):
-                if self._outbox[shard]:
-                    # Preserve stream order within the shard: coalesced scalar
-                    # updates queued before this batch must be applied first.
-                    self._dispatch(shard, self._outbox[shard])
-                    self._outbox[shard] = []
-                self._handles[shard].send_hashed(sub_batch)
-                count += len(sub_batch)
+            with obs_trace.span("cluster.route", registry=self._obs):
+                for shard, sub_batch in batch.split_by_route(self.workers):
+                    if self._outbox[shard]:
+                        # Preserve stream order within the shard: coalesced
+                        # scalar updates queued before this batch must be
+                        # applied first.
+                        self._dispatch(shard, self._outbox[shard])
+                        self._outbox[shard] = []
+                    self._handles[shard].send_hashed(sub_batch)
+                    count += len(sub_batch)
             self._update_count += count
             return count
 
@@ -576,6 +614,10 @@ class ShardedSummary(SummaryShims):
             self._send_outboxes()
             for handle in self._handles:
                 handle.drain()
+            if self._obs is not None:
+                # The flush barrier is the natural collection point: every
+                # worker is idle, so its snapshot covers all routed items.
+                self._collect_worker_obs()
 
     def _send_outboxes(self, only: Optional[int] = None) -> None:
         shards = range(self.workers) if only is None else (only,)
@@ -655,6 +697,83 @@ class ShardedSummary(SummaryShims):
     def memory_bytes(self) -> int:
         """Total memory of all shard summaries (the comparison unit)."""
         return sum(self.shard_memory_bytes())
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _attach_obs_instruments(self) -> None:
+        """Bind per-shard queue instruments to the handles (lock not needed:
+        called from ``__init__`` or under :meth:`enable_obs`'s lock)."""
+        for handle in self._handles:
+            handle.obs_queue_wait = self._obs.histogram(
+                "repro_cluster_queue_wait_seconds",
+                "Time routing spent blocked on shard back-pressure "
+                "(pipe drain or shm ring full).",
+                shard=handle.worker_id,
+            )
+            handle.obs_items = self._obs.counter(
+                "repro_cluster_items_routed_total",
+                "Stream items routed to each shard by the parent.",
+                shard=handle.worker_id,
+            )
+
+    def enable_obs(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Turn cluster telemetry on after construction (idempotent).
+
+        Records into ``registry`` when given, else the globally-enabled
+        trace registry, else a fresh private one.  Workers are switched on
+        over the control pipes; the serve front end calls this so a cluster
+        built before :func:`repro.obs.trace.enable` still reports.
+        """
+        with self._lock:
+            self._ensure_open()
+            if registry is not None:
+                self._obs = registry
+            elif self._obs is None:
+                self._obs = obs_trace.active() or MetricsRegistry()
+            self._attach_obs_instruments()
+            for handle in self._handles:
+                handle.request(("obs_enable",))
+            return self._obs
+
+    def _collect_worker_obs(self) -> None:
+        """Refresh the cached merge of worker registries (lock held)."""
+        snapshots = [handle.request(("obs",)) for handle in self._handles]
+        self._obs_worker_cache = merge_snapshots(*snapshots)
+
+    def _set_obs_gauges(self) -> None:
+        """Publish point-in-time queue depths into the parent registry."""
+        for handle in self._handles:
+            self._obs.gauge(
+                "repro_cluster_queue_depth",
+                "Batches currently in flight to each shard worker.",
+                shard=handle.worker_id,
+            ).set(handle.pending)
+            self._obs.gauge(
+                "repro_cluster_queue_depth_high_water",
+                "Largest number of batches ever in flight to each shard.",
+                shard=handle.worker_id,
+            ).set(handle.high_water)
+        self._obs.gauge(
+            "repro_cluster_update_count",
+            "Stream items routed into the cluster since start.",
+        ).set(self._update_count)
+
+    def obs_snapshot(self, refresh: bool = False) -> Optional[Dict]:
+        """Merged telemetry view: parent registry ⊕ cached worker snapshots.
+
+        ``None`` when telemetry is off.  Worker snapshots are refreshed on
+        every :meth:`flush`; pass ``refresh=True`` to pull them on demand
+        (costs one pipe round-trip per worker).  The default path touches no
+        pipes, so a metrics scrape can never block behind ingestion.
+        """
+        if self._obs is None:
+            return None
+        with self._lock:
+            if refresh and not self._closed:
+                self._collect_worker_obs()
+            self._set_obs_gauges()
+            parent = self._obs.snapshot()
+            return merge_snapshots(parent, self._obs_worker_cache)
 
     def capabilities(self) -> Capabilities:
         """Cluster capabilities: the inner sketch's, minus single-sketch-only

@@ -4,17 +4,21 @@ Each worker owns one registry-built summary structure (any sketch the
 :mod:`repro.api` factory can build — the default cluster uses GSS shards) and
 serves a tiny message protocol over a :class:`multiprocessing.Pipe`:
 
-============ ============================== ==================================
-request      payload                        reply payload
-============ ============================== ==================================
-``batch``    list of update triples         number of items applied
-``hbatch``   a pickled ``HashedBatch``      number of items applied
-``shmbatch`` (offset, nbytes) into the      number of items applied
-             shared-memory ring
-``call``     (method name, args tuple)      the method's return value
-``snapshot`` —                              the summary's ``to_dict`` document
-``stop``     —                              ``"stopped"`` (worker exits)
-============ ============================== ==================================
+============== ============================== ==================================
+request        payload                        reply payload
+============== ============================== ==================================
+``batch``      list of update triples         number of items applied
+``hbatch``     a pickled ``HashedBatch``      number of items applied
+``shmbatch``   (offset, nbytes) into the      number of items applied
+               shared-memory ring
+``call``       (method name, args tuple)      the method's return value
+``snapshot``   —                              the summary's ``to_dict`` document
+``obs_enable`` —                              ``True`` (telemetry now recording)
+``obs``        —                              the worker registry's snapshot
+                                              document, or ``None`` when
+                                              telemetry is disabled
+``stop``       —                              ``"stopped"`` (worker exits)
+============== ============================== ==================================
 
 At startup the worker either builds a fresh summary from ``spec`` or — on the
 checkpoint-restore path — restores one directly from a snapshot document,
@@ -48,6 +52,25 @@ def _ingest(summary, hashed_ingest, batch) -> int:
     return summary.update_many(batch.items())
 
 
+def _enable_worker_obs(worker_id: int):
+    """Install a *fresh* per-process registry and return its instruments.
+
+    Fresh matters: under the ``fork`` start method the child inherits the
+    parent's registry object, and recording into it would double-count
+    everything once the parent merges worker snapshots back in.
+    """
+    from repro.obs import trace
+    from repro.obs.registry import MetricsRegistry
+
+    registry = trace.enable(MetricsRegistry())
+    items = registry.counter(
+        "repro_worker_items_total",
+        "Stream items applied by each shard worker process.",
+        shard=worker_id,
+    )
+    return registry, items
+
+
 def worker_main(
     conn,
     spec,
@@ -55,6 +78,7 @@ def worker_main(
     snapshot: Optional[Dict] = None,
     backend: Optional[str] = None,
     shm_name: Optional[str] = None,
+    obs_enabled: bool = False,
 ) -> None:
     """Run one shard worker until ``stop`` or a closed pipe.
 
@@ -66,9 +90,17 @@ def worker_main(
     backend) — the cluster's checkpoint-recovery path.  ``shm_name`` names
     the client's shared-memory ring for the ``shmbatch`` data plane; the
     worker attaches without adopting ownership (the client unlinks it).
+    With ``obs_enabled`` (or on a later ``obs_enable`` request) the worker
+    records spans/counters into a process-local registry whose snapshot the
+    parent collects over this same pipe (the ``obs`` request) and merges
+    into the cluster-wide telemetry view.
     """
     from repro.api.registry import build, from_dict
+    from repro.obs import trace as obs_trace
 
+    obs_items = None
+    if obs_enabled:
+        _, obs_items = _enable_worker_obs(worker_id)
     shm = None
     try:
         if snapshot is not None:
@@ -104,25 +136,50 @@ def worker_main(
                 conn.send(("ok", "stopped"))
                 break
             elif operation == "batch":
-                conn.send(("ok", summary.update_many(request[1])))
+                with obs_trace.span("worker.ingest", shard=worker_id):
+                    applied = summary.update_many(request[1])
+                if obs_items is not None:
+                    obs_items.inc(applied)
+                conn.send(("ok", applied))
             elif operation == "hbatch":
-                conn.send(("ok", _ingest(summary, hashed_ingest, request[1])))
+                with obs_trace.span("worker.ingest", shard=worker_id):
+                    applied = _ingest(summary, hashed_ingest, request[1])
+                if obs_items is not None:
+                    obs_items.inc(applied)
+                conn.send(("ok", applied))
             elif operation == "shmbatch":
                 from repro.cluster.transport import decode_hashed_batch
 
-                batch = decode_hashed_batch(
-                    shm.buf, request[1], request[2], hash_spec
-                )
-                applied = _ingest(summary, hashed_ingest, batch)
-                # Drop the zero-copy column views before acknowledging: the
-                # client may reuse the segment as soon as it sees the reply.
-                del batch
+                with obs_trace.span("worker.ingest", shard=worker_id):
+                    batch = decode_hashed_batch(
+                        shm.buf, request[1], request[2], hash_spec
+                    )
+                    applied = _ingest(summary, hashed_ingest, batch)
+                    # Drop the zero-copy column views before acknowledging:
+                    # the client may reuse the segment as soon as it sees
+                    # the reply.
+                    del batch
+                if obs_items is not None:
+                    obs_items.inc(applied)
                 conn.send(("ok", applied))
             elif operation == "call":
                 method, args = request[1], request[2]
-                conn.send(("ok", getattr(summary, method)(*args)))
+                with obs_trace.span("worker.query", shard=worker_id):
+                    value = getattr(summary, method)(*args)
+                conn.send(("ok", value))
             elif operation == "snapshot":
-                conn.send(("ok", summary.to_dict()))
+                with obs_trace.span("worker.snapshot", shard=worker_id):
+                    document = summary.to_dict()
+                conn.send(("ok", document))
+            elif operation == "obs_enable":
+                if obs_items is None:
+                    _, obs_items = _enable_worker_obs(worker_id)
+                conn.send(("ok", True))
+            elif operation == "obs":
+                registry = obs_trace.active()
+                conn.send(
+                    ("ok", registry.snapshot() if registry is not None else None)
+                )
             else:
                 _send_error(conn, worker_id, f"unknown request {operation!r}")
         except Exception:

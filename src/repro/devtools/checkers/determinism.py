@@ -3,7 +3,7 @@
 Cross-backend bit-identity (python == numpy == native, single-process ==
 sharded == served) holds because placement is a pure function of the
 stream: same items in, same rooms/buffer out.  Three things silently
-break that purity in ``core/`` and ``hashing/``:
+break that purity in ``core/``, ``hashing/`` and ``obs/``:
 
 * **unordered iteration** — ``for x in some_set`` visits elements in a
   hash-randomized order (``PYTHONHASHSEED``); if anything stateful
@@ -22,6 +22,14 @@ break that purity in ``core/`` and ``hashing/``:
   attributes, call arguments or indices, where it could steer placement.
   The analysis taints assigned names and propagates through local
   assignments to a fixpoint within each function.
+
+``obs/`` (the telemetry layer) is *in scope* precisely because it reads the
+clock on hot paths: its instruments are the sanctioned sinks (``observe``/
+``add``/``inc`` receivers), plus exactly one sanctioned attribute store —
+``self._started = perf_counter()``, the span's stashed start time, which
+only ever flows back into ``observe()``.  Any other attribute store of a
+wall-clock value in ``obs/`` files still escapes and is flagged, so the
+telemetry layer cannot quietly grow a time-dependent code path.
 """
 
 from __future__ import annotations
@@ -57,6 +65,13 @@ _TIME_MODULES = frozenset({"time", "datetime", "date"})
 #: Call attribute names treated as timing sinks: a time measurement may be
 #: passed to these (metrics/profiling accumulators) without being flagged.
 _TIME_SINKS = frozenset({"add", "observe", "record", "append"})
+
+#: Attribute stores sanctioned as timing sinks in ``obs/`` files only:
+#: ``Span.__enter__`` stashes its start time on ``self._started`` so
+#: ``__exit__`` can feed the difference straight into ``observe()``.  No
+#: blanket ``repro: allow`` marker — the sanction is this exact attribute
+#: name in that exact scope, and anything else still escapes.
+_OBS_SANCTIONED_ATTRS = frozenset({"_started"})
 
 _RANDOM_FUNCS = frozenset(
     {
@@ -158,7 +173,7 @@ class DeterminismChecker(Checker):
         "no unordered-set iteration, unseeded randomness or wall-clock "
         "values in placement-affecting paths"
     )
-    scope = ("core", "hashing")
+    scope = ("core", "hashing", "obs")
 
     def check_file(self, pyfile: PyFile) -> Iterator[Violation]:
         assert pyfile.tree is not None
@@ -254,10 +269,11 @@ class DeterminismChecker(Checker):
         ]
         if not time_calls:
             return
+        sanctioned = self._sanctioned_attrs(pyfile)
         tainted: Set[str] = set()
         flagged: List[Tuple[ast.AST, str]] = []
         for call in time_calls:
-            verdict = _consumption_verdict(pyfile, call)
+            verdict = _consumption_verdict(pyfile, call, sanctioned)
             if verdict == "escape":
                 flagged.append(
                     (
@@ -303,7 +319,7 @@ class DeterminismChecker(Checker):
                 and node.id not in reported
             ):
                 continue
-            if _consumption_verdict(pyfile, node) == "escape":
+            if _consumption_verdict(pyfile, node, sanctioned) == "escape":
                 reported.add(node.id)
                 flagged.append(
                     (
@@ -316,15 +332,28 @@ class DeterminismChecker(Checker):
         for node, message in flagged:
             yield self.violation(pyfile, node, message)
 
+    @staticmethod
+    def _sanctioned_attrs(pyfile: PyFile) -> frozenset:
+        """The attribute-store sinks sanctioned for this file (obs only)."""
+        return (
+            _OBS_SANCTIONED_ATTRS
+            if "obs" in pyfile.components
+            else frozenset()
+        )
 
-def _consumption_verdict(pyfile: PyFile, node: ast.AST) -> str:
+
+def _consumption_verdict(
+    pyfile: PyFile, node: ast.AST, sanctioned_attrs: frozenset = frozenset()
+) -> str:
     """How a timing expression is consumed: ``sink``/``taint``/``escape``.
 
     Walks outward from ``node``: arithmetic, comparisons and conditional
     expressions are transparent; landing in a timing-sink call argument or
     a pure control-flow test is fine; landing in an assignment to plain
     names taints them; anything else (return, attribute store, non-sink
-    call argument, subscript, ...) escapes.
+    call argument, subscript, ...) escapes — except a store to a
+    ``self.<attr>`` in ``sanctioned_attrs``, which is a sink (the span
+    start-time stash, see :data:`_OBS_SANCTIONED_ATTRS`).
     """
     child: ast.AST = node
     for ancestor in iter_parents(pyfile, child):
@@ -355,6 +384,14 @@ def _consumption_verdict(pyfile: PyFile, node: ast.AST) -> str:
             )
             if all(isinstance(target, ast.Name) for target in targets):
                 return "taint"
+            if sanctioned_attrs and all(
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr in sanctioned_attrs
+                for target in targets
+            ):
+                return "sink"
             return "escape"
         if isinstance(ancestor, (ast.Expr, ast.If, ast.While, ast.Assert)):
             return "sink"  # bare statement or pure control-flow comparison

@@ -26,6 +26,15 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from repro.obs.trace import active as _obs_active
+
+#: Per-stage ingest timings mirrored into the obs registry (when enabled):
+#: one histogram series per stage label, so ``record_bench.py --profile``
+#: can report ``obs_stage_seconds`` next to the legacy stage dict and a
+#: live server's stage mix shows up on ``GET /metrics``.
+STAGE_FAMILY = "repro_ingest_stage_seconds"
+_STAGE_HELP = "Batched-ingest stage durations (label: stage name)."
+
 
 class IngestProfile:
     """Accumulated per-stage wall-clock seconds plus a batch counter."""
@@ -38,6 +47,11 @@ class IngestProfile:
 
     def add(self, stage: str, seconds: float) -> None:
         self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+        registry = _obs_active()
+        if registry is not None:
+            registry.histogram(STAGE_FAMILY, _STAGE_HELP, stage=stage).observe(
+                seconds
+            )
 
     def stage_seconds(self, stage: str) -> float:
         return self.stages.get(stage, 0.0)

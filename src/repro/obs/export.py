@@ -1,0 +1,257 @@
+"""Exposition formats for :mod:`repro.obs` snapshots.
+
+Three consumers, three renderers:
+
+* :func:`render_prometheus` — Prometheus text format 0.0.4 (the classic
+  ``# HELP``/``# TYPE`` + sample lines scrape format) from any snapshot
+  document.  Histograms expose the conventional cumulative
+  ``_bucket{le="..."}`` series plus ``_sum``/``_count``; the snapshot's
+  non-cumulative bucket counts are cumulated here, on render.
+* :func:`parse_prometheus` / :func:`validate_prometheus` — a deliberately
+  minimal parser for the same subset, used by the CI smoke assertion
+  (``curl /metrics | python -m repro obs --check-prometheus -``) and the
+  test suite: every sample must belong to a declared family, and every
+  histogram series must be internally consistent (cumulative ``_bucket``
+  counts, a ``+Inf`` bucket equal to ``_count``, a ``_sum``).
+* :func:`describe_snapshot` — the human-oriented table behind
+  ``python -m repro obs``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.registry import histogram_quantile
+
+__all__ = [
+    "describe_snapshot",
+    "parse_prometheus",
+    "render_prometheus",
+    "validate_prometheus",
+]
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    pairs = [f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(snapshot: Optional[Dict]) -> str:
+    """Render a snapshot document as Prometheus text format 0.0.4."""
+    lines: List[str] = []
+    families = (snapshot or {}).get("families", {})
+    for name in sorted(families):
+        family = families[name]
+        kind = family["kind"]
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_label(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family.get("series", {}).values():
+            labels = series.get("labels", {})
+            if kind == "histogram":
+                bounds = family.get("buckets", [])
+                cumulative = 0
+                for index, bound in enumerate(bounds):
+                    cumulative += series["counts"][index]
+                    le = _format_labels(labels, f'le="{bound:.9g}"')
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += series["counts"][len(bounds)]
+                le = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{_format_labels(labels)} {cumulative}")
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(raw: Optional[str]) -> Dict[str, str]:
+    if not raw:
+        return {}
+    labels: Dict[str, str] = {}
+    for match in _LABEL_PAIR.finditer(raw):
+        value = match.group(2)
+        value = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        labels[match.group(1)] = value
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict]:
+    """Parse Prometheus text into ``{family: {type, help, samples}}``.
+
+    ``samples`` is a list of ``(sample_name, labels, value)`` tuples; a
+    histogram family's ``_bucket``/``_sum``/``_count`` samples are grouped
+    under the declared family name.  Raises ``ValueError`` on lines that
+    are neither comments, blank, declarations, nor well-formed samples, and
+    on samples that belong to no declared family.
+    """
+    families: Dict[str, Dict] = {}
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                families.setdefault(
+                    parts[2], {"type": None, "help": "", "samples": []}
+                )["type"] = parts[3] if len(parts) > 3 else ""
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                families.setdefault(
+                    parts[2], {"type": None, "help": "", "samples": []}
+                )["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw_line!r}")
+        sample_name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {match.group('value')!r}"
+            ) from None
+        family_name = sample_name
+        if family_name not in families:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample_name.endswith(suffix):
+                    family_name = sample_name[: -len(suffix)]
+                    break
+        if family_name not in families:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no # TYPE declaration"
+            )
+        families[family_name]["samples"].append(
+            (sample_name, _parse_labels(match.group("labels")), value)
+        )
+    return families
+
+
+def _histogram_series_key(labels: Mapping[str, str]) -> str:
+    return ",".join(
+        f"{key}={value}" for key, value in sorted(labels.items()) if key != "le"
+    )
+
+
+def validate_prometheus(text: str) -> Dict[str, Dict]:
+    """Parse *and* cross-check the text; raise ``ValueError`` on any defect.
+
+    Beyond :func:`parse_prometheus`'s well-formedness, asserts per
+    histogram series: ``_bucket`` values are cumulative (non-decreasing in
+    ``le`` order), a ``+Inf`` bucket exists and equals ``_count``, and a
+    ``_sum`` sample is present.  Returns the parsed families on success.
+    """
+    families = parse_prometheus(text)
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ValueError(f"family {name!r} has samples but no # TYPE")
+        if family["type"] != "histogram":
+            continue
+        buckets: Dict[str, List[Tuple[float, float]]] = {}
+        sums: Dict[str, float] = {}
+        counts: Dict[str, float] = {}
+        for sample_name, labels, value in family["samples"]:
+            key = _histogram_series_key(labels)
+            if sample_name == f"{name}_bucket":
+                le_raw = labels.get("le")
+                if le_raw is None:
+                    raise ValueError(f"{name}: _bucket sample without le label")
+                le = math.inf if le_raw == "+Inf" else float(le_raw)
+                buckets.setdefault(key, []).append((le, value))
+            elif sample_name == f"{name}_sum":
+                sums[key] = value
+            elif sample_name == f"{name}_count":
+                counts[key] = value
+        for key, series_buckets in buckets.items():
+            series_buckets.sort(key=lambda pair: pair[0])
+            values = [pair[1] for pair in series_buckets]
+            if any(b < a for a, b in zip(values, values[1:])):
+                raise ValueError(
+                    f"{name}{{{key}}}: _bucket counts are not cumulative"
+                )
+            if not series_buckets or series_buckets[-1][0] != math.inf:
+                raise ValueError(f"{name}{{{key}}}: missing le=\"+Inf\" bucket")
+            if key not in counts:
+                raise ValueError(f"{name}{{{key}}}: missing _count sample")
+            if series_buckets[-1][1] != counts[key]:
+                raise ValueError(
+                    f"{name}{{{key}}}: +Inf bucket {series_buckets[-1][1]} "
+                    f"!= _count {counts[key]}"
+                )
+            if key not in sums:
+                raise ValueError(f"{name}{{{key}}}: missing _sum sample")
+    return families
+
+
+def describe_snapshot(snapshot: Optional[Dict]) -> str:
+    """The ``python -m repro obs`` table: one block per family.
+
+    Histogram rows estimate p50/p99 from the bucket counts (the same
+    estimator the load generator uses for server-side latency)."""
+    families = (snapshot or {}).get("families", {})
+    if not families:
+        return "no instruments recorded"
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        header = f"{name}  [{family['kind']}]"
+        if family.get("help"):
+            header += f"  — {family['help']}"
+        lines.append(header)
+        if family.get("dropped_series"):
+            lines.append(
+                f"  (cardinality guard collapsed {family['dropped_series']} "
+                "label set(s) into the overflow series)"
+            )
+        for key in sorted(family.get("series", {})):
+            series = family["series"][key]
+            label_text = key or "(no labels)"
+            if family["kind"] == "histogram":
+                bounds = family.get("buckets", [])
+                p50 = histogram_quantile(bounds, series["counts"], 0.50)
+                p99 = histogram_quantile(bounds, series["counts"], 0.99)
+                quantiles = (
+                    f"p50={p50 * 1e3:.3f}ms p99={p99 * 1e3:.3f}ms"
+                    if p50 is not None
+                    else "empty"
+                )
+                lines.append(
+                    f"  {label_text:<40} count={series['count']:<8} "
+                    f"sum={series['sum']:.6f}s {quantiles}"
+                )
+            else:
+                lines.append(f"  {label_text:<40} {_format_value(series['value'])}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,406 @@
+"""The instrument registry of :mod:`repro.obs` — counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds a set of named *families*; each family
+holds one instrument per distinct label set (``shard``/``backend``/``op``
+style).  Three design constraints shape everything here:
+
+* **mergeable snapshots** — a cluster is many processes, so telemetry must
+  compose: ``snapshot()`` returns a plain JSON-safe dict and
+  :func:`merge_snapshots` combines any number of them associatively and
+  commutatively (counters and histogram buckets add, gauges take the max),
+  which is what lets worker snapshots fold into the parent's in any order
+  — ``worker ⊕ worker ⊕ parent`` equals ``worker ⊕ (worker ⊕ parent)``;
+* **fixed log-scale latency buckets** — :data:`LATENCY_BUCKETS` doubles
+  from 1µs to ~67s, so two histograms recorded by different processes
+  always share bucket bounds and merge bucket-by-bucket (variable bucket
+  schemes cannot merge without resampling);
+* **bounded label cardinality** — a family accepts at most
+  ``max_series`` distinct label sets; beyond that, new label sets collapse
+  into one ``~overflow~`` series (and are counted in ``dropped_series``),
+  so a bug that labels by node id cannot grow the registry without bound.
+
+Instruments are plain attribute-holding objects updated without locks: every
+writer in this codebase is already serialized (the serve event loop, the
+cluster lock, one worker process per registry), and the registry lock guards
+only get-or-create.  Deliberately **no wall-clock reads live here** — timing
+belongs to :mod:`repro.obs.trace` — so the registry stays inert under the
+determinism lint.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "OVERFLOW_LABEL",
+    "histogram_quantile",
+    "merge_snapshots",
+    "subtract_snapshots",
+]
+
+OBS_FORMAT_VERSION = 1
+
+#: Log-scale (powers of two) latency bucket upper bounds in seconds: 1µs,
+#: 2µs, 4µs, ... up to ~67s, plus the implicit +Inf overflow bucket.  Fixed
+#: for every histogram by default so snapshots from different processes
+#: always merge bucket-by-bucket.
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 2.0**exp for exp in range(27))
+
+#: Label value that absorbs series beyond a family's cardinality bound.
+OVERFLOW_LABEL = "~overflow~"
+
+#: Default bound on distinct label sets per family (the cardinality guard).
+DEFAULT_MAX_SERIES = 256
+
+
+def _series_key(labels: Mapping[str, str]) -> str:
+    """Canonical (sorted, JSON-safe) dict key for one label set."""
+    return ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, items, bytes)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Dict[str, str]) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (open connections, queue depth)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Dict[str, str]) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """High-water tracking: keep the largest value ever set."""
+        if value > self.value:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A distribution over fixed bucket bounds (latencies, sizes).
+
+    ``counts`` is *non-cumulative*: ``counts[i]`` observations fell into
+    ``(bounds[i-1], bounds[i]]`` and the final entry is the overflow bucket
+    beyond ``bounds[-1]``.  The Prometheus exposition layer cumulates on
+    render.
+    """
+
+    __slots__ = ("labels", "bounds", "counts", "sum", "count")
+
+    def __init__(self, labels: Dict[str, str], bounds: Sequence[float]) -> None:
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left finds the first bound >= value: exactly the smallest
+        # `le` bucket that contains it; past the last bound -> overflow slot.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (linear within the landing bucket)."""
+        return histogram_quantile(self.bounds, self.counts, q)
+
+
+def histogram_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Estimate a quantile from bucketed counts, or ``None`` when empty.
+
+    Interpolates linearly inside the bucket the target rank lands in; the
+    overflow bucket is clamped to the last finite bound (the estimate cannot
+    exceed what the bucket scheme can resolve).
+    """
+    total = sum(counts)
+    if total == 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    target = q * total
+    cumulative = 0.0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= target:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index] if index < len(bounds) else bounds[-1]
+            fraction = (target - cumulative) / bucket_count
+            return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        cumulative += bucket_count
+    return bounds[-1] if bounds else None  # pragma: no cover - defensive
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """All instruments sharing one name/kind, keyed by label set."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "series", "dropped", "max_series")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]],
+        max_series: int,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets: Optional[Tuple[float, ...]] = (
+            tuple(buckets) if buckets is not None else None
+        )
+        self.series: Dict[str, object] = {}
+        self.dropped = 0
+        self.max_series = max_series
+
+    def child(self, labels: Dict[str, str]):
+        key = _series_key(labels)
+        instrument = self.series.get(key)
+        if instrument is not None:
+            return instrument
+        if len(self.series) >= self.max_series:
+            # Cardinality guard: collapse every further label set into one
+            # overflow series so a high-cardinality label (a node id, a
+            # client address) cannot grow the registry without bound.
+            self.dropped += 1
+            overflow = {name: OVERFLOW_LABEL for name in labels} or {
+                "overflow": OVERFLOW_LABEL
+            }
+            key = _series_key(overflow)
+            instrument = self.series.get(key)
+            if instrument is not None:
+                return instrument
+            labels = overflow
+        if self.kind == "histogram":
+            instrument = Histogram(labels, self.buckets or LATENCY_BUCKETS)
+        else:
+            instrument = _KINDS[self.kind](labels)
+        self.series[key] = instrument
+        return instrument
+
+    def snapshot(self) -> Dict:
+        document: Dict = {
+            "kind": self.kind,
+            "help": self.help,
+            "series": {},
+        }
+        if self.kind == "histogram":
+            document["buckets"] = list(self.buckets or LATENCY_BUCKETS)
+        if self.dropped:
+            document["dropped_series"] = self.dropped
+        for key, instrument in self.series.items():
+            if self.kind == "histogram":
+                document["series"][key] = {
+                    "labels": dict(instrument.labels),
+                    "counts": list(instrument.counts),
+                    "sum": instrument.sum,
+                    "count": instrument.count,
+                }
+            else:
+                document["series"][key] = {
+                    "labels": dict(instrument.labels),
+                    "value": instrument.value,
+                }
+        return document
+
+
+class MetricsRegistry:
+    """A process-local set of instrument families.
+
+    ``counter()``/``gauge()``/``histogram()`` get-or-create and return the
+    instrument for the given name + labels; hot paths should hold on to the
+    returned instrument instead of re-resolving it per event.  All label
+    values are coerced to ``str`` (label *names* ``name``/``help_text``/
+    ``buckets``/``max_series`` are reserved by the method signatures).
+    """
+
+    def __init__(self, max_series: int = DEFAULT_MAX_SERIES) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._max_series = max_series
+        self._lock = threading.Lock()
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = _Family(name, kind, help_text, buckets, self._max_series)
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ValueError(
+                f"instrument {name!r} is a {family.kind}, not a {kind}"
+            )
+        if help_text and not family.help:
+            family.help = help_text
+        return family
+
+    def counter(self, name: str, help_text: str = "", **labels: object) -> Counter:
+        family = self._family(name, "counter", help_text)
+        with self._lock:
+            return family.child({key: str(value) for key, value in labels.items()})
+
+    def gauge(self, name: str, help_text: str = "", **labels: object) -> Gauge:
+        family = self._family(name, "gauge", help_text)
+        with self._lock:
+            return family.child({key: str(value) for key, value in labels.items()})
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        family = self._family(name, "histogram", help_text, buckets)
+        with self._lock:
+            return family.child({key: str(value) for key, value in labels.items()})
+
+    def snapshot(self) -> Dict:
+        """A JSON-safe, mergeable snapshot of every family."""
+        with self._lock:
+            families = list(self._families.items())
+        return {
+            "obs_format": OBS_FORMAT_VERSION,
+            "families": {name: family.snapshot() for name, family in families},
+        }
+
+
+def _empty_snapshot() -> Dict:
+    return {"obs_format": OBS_FORMAT_VERSION, "families": {}}
+
+
+def _copy_series(series: Dict) -> Dict:
+    copied = dict(series)
+    copied["labels"] = dict(series.get("labels", {}))
+    if "counts" in series:
+        copied["counts"] = list(series["counts"])
+    return copied
+
+
+def merge_snapshots(*snapshots: Optional[Dict]) -> Dict:
+    """Fold any number of :meth:`MetricsRegistry.snapshot` documents into one.
+
+    Associative and commutative: counters and histograms add (value, bucket
+    counts, sum, count), gauges keep the maximum (the only associative
+    choice that stays meaningful for levels and high-water marks), help
+    strings keep the first non-empty text.  ``None`` entries are skipped so
+    callers can pass optional worker snapshots straight through.  Raises
+    ``ValueError`` when the same family name arrives with conflicting kinds
+    or bucket bounds — silent misaccumulation would be worse than an error.
+    """
+    merged = _empty_snapshot()
+    families: Dict[str, Dict] = merged["families"]
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, incoming in snapshot.get("families", {}).items():
+            target = families.get(name)
+            if target is None:
+                families[name] = {
+                    **{k: v for k, v in incoming.items() if k != "series"},
+                    "series": {
+                        key: _copy_series(series)
+                        for key, series in incoming.get("series", {}).items()
+                    },
+                }
+                continue
+            if target["kind"] != incoming["kind"]:
+                raise ValueError(
+                    f"family {name!r} merges {target['kind']} with "
+                    f"{incoming['kind']}"
+                )
+            if target.get("buckets") != incoming.get("buckets"):
+                raise ValueError(f"family {name!r} merges mismatched buckets")
+            if not target.get("help") and incoming.get("help"):
+                target["help"] = incoming["help"]
+            if incoming.get("dropped_series"):
+                target["dropped_series"] = target.get("dropped_series", 0) + incoming[
+                    "dropped_series"
+                ]
+            for key, series in incoming.get("series", {}).items():
+                existing = target["series"].get(key)
+                if existing is None:
+                    target["series"][key] = _copy_series(series)
+                elif target["kind"] == "histogram":
+                    existing["counts"] = [
+                        a + b for a, b in zip(existing["counts"], series["counts"])
+                    ]
+                    existing["sum"] += series["sum"]
+                    existing["count"] += series["count"]
+                elif target["kind"] == "counter":
+                    existing["value"] += series["value"]
+                else:  # gauge
+                    existing["value"] = max(existing["value"], series["value"])
+    return merged
+
+
+def subtract_snapshots(after: Optional[Dict], before: Optional[Dict]) -> Dict:
+    """The delta ``after - before`` (a load-test's server-side increment).
+
+    Counters and histograms subtract (clamped at zero, so a server restart
+    between the two scrapes degrades to "everything happened after");
+    gauges keep the ``after`` level (a level has no meaningful delta).
+    Families or series absent from ``before`` pass through unchanged.
+    """
+    if not after:
+        return _empty_snapshot()
+    result = merge_snapshots(after)  # deep copy with the same shape
+    if not before:
+        return result
+    for name, family in result["families"].items():
+        baseline = before.get("families", {}).get(name)
+        if baseline is None or family["kind"] == "gauge":
+            continue
+        for key, series in family["series"].items():
+            base = baseline.get("series", {}).get(key)
+            if base is None:
+                continue
+            if family["kind"] == "histogram":
+                series["counts"] = [
+                    max(0, a - b) for a, b in zip(series["counts"], base["counts"])
+                ]
+                series["sum"] = max(0.0, series["sum"] - base["sum"])
+                series["count"] = max(0, series["count"] - base["count"])
+            else:
+                series["value"] = max(0.0, series["value"] - base["value"])
+    return result

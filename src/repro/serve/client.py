@@ -37,7 +37,13 @@ from typing import Hashable, Iterable, List, Optional, Set, Tuple
 from repro.serve import protocol
 from repro.streaming.batch import HashedBatch, HashSpec
 
-__all__ = ["ServeClient", "ServeClientError", "ServerBusy", "fetch_http_metrics"]
+__all__ = [
+    "ServeClient",
+    "ServeClientError",
+    "ServerBusy",
+    "fetch_http_metrics",
+    "fetch_http_metrics_text",
+]
 
 
 class ServeClientError(RuntimeError):
@@ -344,8 +350,25 @@ class ServeClient:
 
 def fetch_http_metrics(host: str, port: int, timeout: float = 5.0) -> dict:
     """``GET /metrics`` over a throwaway socket (no protocol client needed)."""
+    body = _fetch_http(host, port, accept=None, timeout=timeout)
+    return json.loads(body.decode("utf-8"))
+
+
+def fetch_http_metrics_text(host: str, port: int, timeout: float = 5.0) -> str:
+    """``GET /metrics`` with ``Accept: text/plain`` — Prometheus exposition."""
+    body = _fetch_http(host, port, accept="text/plain", timeout=timeout)
+    return body.decode("utf-8")
+
+
+def _fetch_http(
+    host: str, port: int, *, accept: Optional[str], timeout: float
+) -> bytes:
+    request = "GET /metrics HTTP/1.0\r\n"
+    if accept is not None:
+        request += f"Accept: {accept}\r\n"
+    request += "\r\n"
     with socket.create_connection((host, port), timeout=timeout) as sock:
-        sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        sock.sendall(request.encode("ascii"))
         chunks = []
         while True:
             data = sock.recv(65536)
@@ -357,4 +380,4 @@ def fetch_http_metrics(host: str, port: int, timeout: float = 5.0) -> dict:
     status = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
     if " 200 " not in status + " ":
         raise ServeClientError(f"metrics endpoint answered {status!r}")
-    return json.loads(body.decode("utf-8"))
+    return body

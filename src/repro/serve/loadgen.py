@@ -38,7 +38,9 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.hashing.hash_functions import hash_key
+from repro.obs.registry import histogram_quantile, subtract_snapshots
 from repro.serve.client import ServeClient
+from repro.serve.metrics import REQUEST_LATENCY_FAMILY
 
 __all__ = [
     "LoadGenConfig",
@@ -94,6 +96,40 @@ def _percentile(samples: List[float], quantile: float) -> float:
     low = int(position)
     high = min(low + 1, len(ordered) - 1)
     return ordered[low] + (ordered[high] - ordered[low]) * (position - low)
+
+
+def _server_op_latency(
+    after_obs: Optional[Dict], before_obs: Optional[Dict]
+) -> Optional[Dict]:
+    """Per-op server-side latency attributable to this run.
+
+    Diffs the server's ``repro_serve_request_seconds`` histograms scraped
+    before and after the run (:func:`subtract_snapshots`), so a long-lived
+    server's prior traffic never pollutes the numbers, and estimates
+    p50/p99 from the bucket counts.  ``None`` when the server exposes no
+    obs snapshot (running with ``obs=False``).
+    """
+    if not after_obs:
+        return None
+    delta = subtract_snapshots(after_obs, before_obs)
+    family = delta["families"].get(REQUEST_LATENCY_FAMILY)
+    if family is None:
+        return None
+    bounds = family.get("buckets") or []
+    ops: Dict = {}
+    for series in family["series"].values():
+        count = series.get("count", 0)
+        if not count:
+            continue
+        p50 = histogram_quantile(bounds, series["counts"], 0.50)
+        p99 = histogram_quantile(bounds, series["counts"], 0.99)
+        ops[series["labels"].get("op", "")] = {
+            "count": count,
+            "p50_ms": p50 * 1e3 if p50 is not None else None,
+            "p99_ms": p99 * 1e3 if p99 is not None else None,
+            "mean_ms": series["sum"] / count * 1e3,
+        }
+    return ops or None
 
 
 @dataclass
@@ -250,11 +286,14 @@ def run_load_test(
     if config.verify and reference is None:
         raise ValueError("verify mode needs a reference summary")
 
-    # Probe the server once for its hash spec and worker count.
+    # Probe the server once for its hash spec and worker count — and scrape
+    # its instrument snapshot so the post-run scrape can be diffed down to
+    # this run's contribution.
     with ServeClient(config.host, config.port, timeout=config.client_timeout) as probe:
         workers = probe.workers
         spec = probe.hash_spec
         server_info = dict(probe.server_info)
+        before_obs = probe.metrics().get("obs")
 
     routing_seed = spec.routing_seed if spec is not None else None
     if config.verify:
@@ -355,6 +394,12 @@ def run_load_test(
             "busy_replies": server_metrics.get("busy_replies"),
             "ingest_items": server_metrics.get("ingest_items"),
             "inflight_high_water": server_metrics.get("inflight_high_water"),
+            #: True server-side per-op latency (frame decode → reply ready)
+            #: from the server's own histograms, diffed across the run —
+            #: read next to the client-side ``query`` percentiles above.
+            "op_latency_ms": _server_op_latency(
+                server_metrics.get("obs"), before_obs
+            ),
         },
     }
     if verify_report is not None:

@@ -1,11 +1,23 @@
-"""The counters behind the server's ``/metrics`` endpoint.
+"""The instruments behind the server's ``/metrics`` endpoint.
 
-:class:`ServerMetrics` accumulates cheap in-loop counters (connections,
-frames, busy rejections, in-flight credits) and, on demand, merges the
-summary's own :class:`~repro.api.ShardIngestStats` — items per shard,
-queue-depth high water, routing imbalance.  Collection deliberately touches
-only client-side bookkeeping (never the worker pipes), so ``/metrics``
-answers instantly even while the summary executor is saturated with ingest
+:class:`ServerMetrics` owns a private :class:`~repro.obs.MetricsRegistry`
+(never the process-global trace registry — embedding a server in a test or a
+notebook must not leak series into unrelated telemetry) and exposes its
+counters/gauges as attributes with the same names the old ad-hoc integer
+fields had, so the server's call sites read naturally (``metrics.queries
+.inc()``) and :func:`render_metrics` keeps every historical JSON key.
+
+On top of the counters the registry buys the server true latency
+distributions: :meth:`ServerMetrics.observe_request` records each served
+operation into ``repro_serve_request_seconds{op=...}``, the histogram the
+load generator diffs before/after a run to report *server-side* p50/p99 next
+to its client-side percentiles.
+
+Collection deliberately touches only client-side bookkeeping (never the
+worker pipes): :func:`collect_obs_snapshot` merges the server's private
+registry with the summary's cached cluster view
+(:meth:`~repro.cluster.ShardedSummary.obs_snapshot`), so ``/metrics``
+answers promptly even while the summary executor is saturated with ingest
 work — exactly when an operator most wants to look at it.
 """
 
@@ -13,40 +25,118 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-__all__ = ["ServerMetrics", "http_response", "render_metrics"]
+from repro.obs.registry import Histogram, MetricsRegistry, merge_snapshots
+
+__all__ = [
+    "REQUEST_LATENCY_FAMILY",
+    "ServerMetrics",
+    "collect_obs_snapshot",
+    "http_response",
+    "http_text_response",
+    "render_metrics",
+]
+
+#: Per-operation served-request latency (labels: ``op`` = ``ingest``,
+#: ``edge_query``, ``flush``, ...), measured frame-decode → reply-ready on
+#: the server side.
+REQUEST_LATENCY_FAMILY = "repro_serve_request_seconds"
+_REQUEST_HELP = "Server-side latency of served operations (label: op)."
 
 
-@dataclass
 class ServerMetrics:
-    """Mutable counter block owned by one :class:`SummaryServer`."""
+    """Registry-backed instrument block owned by one :class:`SummaryServer`.
 
-    started: float = field(default_factory=time.monotonic)
-    connections_total: int = 0
-    connections_open: int = 0
-    frames_received: int = 0
-    ingest_frames: int = 0
-    ingest_items: int = 0
-    binary_ingest_frames: int = 0
-    busy_replies: int = 0
-    queries: int = 0
-    flushes: int = 0
-    checkpoints: int = 0
-    errors: int = 0
-    #: Batches admitted but not yet applied by the summary executor.
-    inflight: int = 0
-    #: Largest ``inflight`` observed (admission-queue high water).
-    inflight_high_water: int = 0
+    Every attribute is a live instrument (``.inc()`` / ``.value``), all
+    recorded into ``self.registry`` — a private registry so two servers (or
+    a server and the ambient trace registry) never share series.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.started = time.monotonic()
+        r = self.registry
+        self.connections_total = r.counter(
+            "repro_serve_connections_total", "TCP connections accepted."
+        )
+        self.connections_open = r.gauge(
+            "repro_serve_connections_open", "TCP connections currently open."
+        )
+        self.frames_received = r.counter(
+            "repro_serve_frames_received_total", "Protocol frames received."
+        )
+        self.ingest_frames = r.counter(
+            "repro_serve_ingest_frames_total", "Ingest frames received."
+        )
+        self.ingest_items = r.counter(
+            "repro_serve_ingest_items_total", "Stream items applied for clients."
+        )
+        self.binary_ingest_frames = r.counter(
+            "repro_serve_binary_ingest_frames_total",
+            "Ingest frames that arrived on the binary hashed-batch path.",
+        )
+        self.busy_replies = r.counter(
+            "repro_serve_busy_replies_total",
+            "Ingest frames rejected by admission control (credit/inflight).",
+        )
+        self.queries = r.counter(
+            "repro_serve_queries_total", "Query calls served."
+        )
+        self.flushes = r.counter(
+            "repro_serve_flushes_total", "Explicit flush barriers served."
+        )
+        self.checkpoints = r.counter(
+            "repro_serve_checkpoints_total", "Checkpoints written."
+        )
+        self.errors = r.counter(
+            "repro_serve_errors_total", "Errors replied to clients."
+        )
+        #: Batches admitted but not yet applied by the summary executor.
+        self.inflight = r.gauge(
+            "repro_serve_inflight_batches",
+            "Batches admitted but not yet applied by the summary executor.",
+        )
+        #: Largest ``inflight`` observed (admission-queue high water).
+        self.inflight_high_water = r.gauge(
+            "repro_serve_inflight_high_water",
+            "High-water mark of admitted-but-unapplied batches.",
+        )
+        # Per-op latency histograms, cached so the reply path never
+        # re-resolves family + label set per request.
+        self._op_latency: Dict[str, Histogram] = {}
 
     def admit(self) -> None:
-        self.inflight += 1
-        if self.inflight > self.inflight_high_water:
-            self.inflight_high_water = self.inflight
+        self.inflight.inc()
+        self.inflight_high_water.set_max(self.inflight.value)
 
     def settle(self) -> None:
-        self.inflight -= 1
+        self.inflight.dec()
+
+    def observe_request(self, op: str, seconds: float) -> None:
+        """Record one served operation into the per-op latency histogram."""
+        histogram = self._op_latency.get(op)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                REQUEST_LATENCY_FAMILY, _REQUEST_HELP, op=op
+            )
+            self._op_latency[op] = histogram
+        histogram.observe(seconds)
+
+
+def collect_obs_snapshot(metrics: ServerMetrics, summary) -> Dict:
+    """Merged telemetry: the server's registry ⊕ the summary's cluster view.
+
+    The summary contribution (parent routing instruments plus cached worker
+    snapshots) appears only when the summary exposes ``obs_snapshot()`` and
+    has telemetry enabled; a plain in-process sketch contributes nothing and
+    the result is just the server's own instruments.
+    """
+    parts = [metrics.registry.snapshot()]
+    obs_snapshot = getattr(summary, "obs_snapshot", None)
+    if callable(obs_snapshot):
+        parts.append(obs_snapshot())
+    return merge_snapshots(*parts)
 
 
 def render_metrics(
@@ -63,24 +153,26 @@ def render_metrics(
     section appears only when it exposes ``shard_ingest_stats()`` (the
     sharded deployments).  ``update_count`` counts items *routed*, which can
     momentarily exceed items applied — the difference is what ``inflight``
-    measures.
+    measures.  Every key predates the registry port and keeps its name and
+    type; the full instrument detail lives under the ``obs`` key the server
+    adds next to this document.
     """
     document: Dict = {
         "server": "repro-serve",
         "uptime_seconds": time.monotonic() - metrics.started,
-        "connections_open": metrics.connections_open,
-        "connections_total": metrics.connections_total,
-        "frames_received": metrics.frames_received,
-        "ingest_frames": metrics.ingest_frames,
-        "ingest_items": metrics.ingest_items,
-        "binary_ingest_frames": metrics.binary_ingest_frames,
-        "busy_replies": metrics.busy_replies,
-        "queries": metrics.queries,
-        "flushes": metrics.flushes,
-        "checkpoints": metrics.checkpoints,
-        "errors": metrics.errors,
-        "inflight_batches": metrics.inflight,
-        "inflight_high_water": metrics.inflight_high_water,
+        "connections_open": int(metrics.connections_open.value),
+        "connections_total": int(metrics.connections_total.value),
+        "frames_received": int(metrics.frames_received.value),
+        "ingest_frames": int(metrics.ingest_frames.value),
+        "ingest_items": int(metrics.ingest_items.value),
+        "binary_ingest_frames": int(metrics.binary_ingest_frames.value),
+        "busy_replies": int(metrics.busy_replies.value),
+        "queries": int(metrics.queries.value),
+        "flushes": int(metrics.flushes.value),
+        "checkpoints": int(metrics.checkpoints.value),
+        "errors": int(metrics.errors.value),
+        "inflight_batches": int(metrics.inflight.value),
+        "inflight_high_water": int(metrics.inflight_high_water.value),
         "credits_per_connection": credits,
         "max_inflight_batches": max_inflight,
     }
@@ -103,11 +195,29 @@ def render_metrics(
 def http_response(document: Dict, status: str = "200 OK") -> bytes:
     """A minimal ``HTTP/1.0`` response carrying ``document`` as JSON."""
     body = json.dumps(document, indent=2).encode("utf-8") + b"\n"
-    head = (
+    return _http_head(status, "application/json", len(body)) + body
+
+
+def http_text_response(
+    text: str,
+    status: str = "200 OK",
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+) -> bytes:
+    """A minimal ``HTTP/1.0`` response carrying plain text.
+
+    The default content type is the Prometheus exposition format 0.0.4 —
+    what a scraper expects back from ``GET /metrics`` with
+    ``Accept: text/plain``.
+    """
+    body = text.encode("utf-8")
+    return _http_head(status, content_type, len(body)) + body
+
+
+def _http_head(status: str, content_type: str, length: int) -> bytes:
+    return (
         f"HTTP/1.0 {status}\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {length}\r\n"
         "Connection: close\r\n"
         "\r\n"
     ).encode("ascii")
-    return head + body

@@ -51,13 +51,21 @@ from __future__ import annotations
 import asyncio
 import signal as signal_module
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Set, Union
 
+from repro.obs.export import render_prometheus
 from repro.serve import protocol
-from repro.serve.metrics import ServerMetrics, http_response, render_metrics
+from repro.serve.metrics import (
+    ServerMetrics,
+    collect_obs_snapshot,
+    http_response,
+    http_text_response,
+    render_metrics,
+)
 
 __all__ = ["ServeConfig", "ServerHandle", "SummaryServer", "serve_in_thread"]
 
@@ -96,6 +104,11 @@ class ServeConfig:
     #: Whether shutdown also closes the summary (the CLI wants this; tests
     #: that keep querying the summary after stopping the server do not).
     close_summary: bool = True
+    #: Whether to enable cluster telemetry on the served summary and expose
+    #: the merged instrument snapshot (JSON ``obs`` key, Prometheus text).
+    #: The server's own request counters/histograms record either way (they
+    #: live in a private registry and cost a few attribute bumps per frame).
+    obs: bool = True
 
 
 class _Connection:
@@ -133,6 +146,12 @@ class SummaryServer:
         if self.config.max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         self.metrics = ServerMetrics()
+        if self.config.obs:
+            # Turn on the served summary's own telemetry (cluster routing
+            # instruments, worker spans) so /metrics shows the whole stack.
+            enable_obs = getattr(summary, "enable_obs", None)
+            if callable(enable_obs):
+                enable_obs()
         spec_of = getattr(summary, "hash_spec", None)
         hashed_ingest = getattr(summary, "update_many_hashed", None)
         self._hash_spec = (
@@ -236,7 +255,7 @@ class SummaryServer:
         from repro.cluster.checkpoint import save_checkpoint
 
         path = save_checkpoint(self.summary, self.config.checkpoint_dir)
-        self.metrics.checkpoints += 1
+        self.metrics.checkpoints.inc()
         return str(path)
 
     def _run(self, fn, *args):
@@ -248,8 +267,8 @@ class SummaryServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self.metrics.connections_total += 1
-        self.metrics.connections_open += 1
+        self.metrics.connections_total.inc()
+        self.metrics.connections_open.inc()
         connection = _Connection(writer)
         self._connections.add(connection)
         writer_task = asyncio.ensure_future(self._write_replies(connection))
@@ -265,7 +284,7 @@ class SummaryServer:
                         f"frame of {length} bytes exceeds the protocol limit"
                     )
                 payload = await reader.readexactly(length) if length else b""
-                self.metrics.frames_received += 1
+                self.metrics.frames_received.inc()
                 self._dispatch_frame(connection, kind, payload)
                 if connection.closing:
                     break
@@ -277,7 +296,7 @@ class SummaryServer:
         ):
             pass  # client went away; nothing to answer
         except protocol.ProtocolError as error:
-            self.metrics.errors += 1
+            self.metrics.errors.inc()
             connection.queue.put_nowait(
                 protocol.pack_json({"op": "error", "error": str(error)})
             )
@@ -288,7 +307,7 @@ class SummaryServer:
             except Exception:  # pragma: no cover - writer already logged
                 pass
             self._connections.discard(connection)
-            self.metrics.connections_open -= 1
+            self.metrics.connections_open.dec()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -315,39 +334,49 @@ class SummaryServer:
     def _dispatch_frame(
         self, connection: _Connection, kind: int, payload: bytes
     ) -> None:
+        # One timestamp at frame decode: every reply path below observes
+        # reply-ready minus this, the server-side per-op latency the load
+        # generator diffs against its client-side percentiles.
+        started = time.perf_counter()
         if kind == protocol.FRAME_HBATCH:
-            self.metrics.binary_ingest_frames += 1
-            self._ingest(connection, payload, binary=True)
+            self.metrics.binary_ingest_frames.inc()
+            self._ingest(connection, payload, binary=True, started=started)
         elif kind == protocol.FRAME_JSON:
             document = protocol.decode_json_payload(payload)
-            self._dispatch_op(connection, document)
+            self._dispatch_op(connection, document, started)
         else:
             raise protocol.ProtocolError(f"unknown frame kind {kind}")
 
-    def _dispatch_op(self, connection: _Connection, document: dict) -> None:
+    def _dispatch_op(
+        self, connection: _Connection, document: dict, started: float
+    ) -> None:
         operation = document.get("op")
         if operation == "ingest":
-            self._ingest(connection, document, binary=False)
+            self._ingest(connection, document, binary=False, started=started)
         elif operation == "call":
-            self._call(connection, document)
+            self._call(connection, document, started)
         elif operation == "hello":
             connection.queue.put_nowait(protocol.pack_json(self._hello()))
         elif operation == "resume":
             connection.busy_mode = False
             connection.queue.put_nowait(protocol.pack_json({"op": "ok"}))
         elif operation == "flush":
-            self.metrics.flushes += 1
-            self._enqueue_result(connection, self._flush_op)
+            self.metrics.flushes.inc()
+            self._enqueue_result(
+                connection, self._flush_op, op="flush", started=started
+            )
         elif operation == "checkpoint":
             if self.config.checkpoint_dir is None:
-                self.metrics.errors += 1
+                self.metrics.errors.inc()
                 connection.queue.put_nowait(
                     protocol.pack_json(
                         {"op": "error", "error": "server has no --checkpoint-dir"}
                     )
                 )
             else:
-                self._enqueue_result(connection, self._checkpoint)
+                self._enqueue_result(
+                    connection, self._checkpoint, op="checkpoint", started=started
+                )
         elif operation == "metrics":
             connection.queue.put_nowait(
                 protocol.pack_json({"op": "ok", "metrics": self._metrics_document()})
@@ -356,7 +385,7 @@ class SummaryServer:
             connection.closing = True
             connection.queue.put_nowait(protocol.pack_json({"op": "bye"}))
         else:
-            self.metrics.errors += 1
+            self.metrics.errors.inc()
             connection.queue.put_nowait(
                 protocol.pack_json(
                     {"op": "error", "error": f"unknown op {operation!r}"}
@@ -382,28 +411,39 @@ class SummaryServer:
             flush()
 
     def _metrics_document(self) -> dict:
-        return render_metrics(
+        document = render_metrics(
             self.metrics,
             self.summary,
             credits=self.config.credits,
             max_inflight=self.config.max_inflight,
             transport=getattr(self.summary, "transport", None),
         )
+        if self.config.obs:
+            # Additive: every pre-existing key above is untouched; the full
+            # instrument snapshot rides along for repro's own tooling
+            # (`python -m repro obs`) and the Prometheus renderer.
+            document["obs"] = self._obs_document()
+        return document
+
+    def _obs_document(self) -> dict:
+        return collect_obs_snapshot(self.metrics, self.summary)
 
     # -- ingest path ---------------------------------------------------------
 
-    def _ingest(self, connection: _Connection, payload, *, binary: bool) -> None:
-        self.metrics.ingest_frames += 1
+    def _ingest(
+        self, connection: _Connection, payload, *, binary: bool, started: float
+    ) -> None:
+        self.metrics.ingest_frames.inc()
         if (
             connection.busy_mode
-            or self.metrics.inflight >= self.config.max_inflight
+            or self.metrics.inflight.value >= self.config.max_inflight
             or connection.admitted >= self.config.credits
         ):
             # Sticky rejection: once one frame bounces, every later ingest
             # frame bounces too (until `resume`), so a retried batch can
             # never be applied out of order.
             connection.busy_mode = True
-            self.metrics.busy_replies += 1
+            self.metrics.busy_replies.inc()
             connection.queue.put_nowait(
                 protocol.pack_json(
                     {"op": "busy", "retry_after": self.config.retry_after}
@@ -420,16 +460,21 @@ class SummaryServer:
             try:
                 applied = await future
             except Exception as error:  # noqa: BLE001 - reported to the client
-                self.metrics.errors += 1
+                self.metrics.errors.inc()
                 return protocol.pack_json(
                     {"op": "error", "error": f"{type(error).__name__}: {error}"}
                 )
             else:
-                self.metrics.ingest_items += applied
+                self.metrics.ingest_items.inc(applied)
                 return protocol.pack_json({"op": "ok", "applied": applied})
             finally:
                 self.metrics.settle()
                 connection.admitted -= 1
+                # Single-threaded event loop: the observe cannot race the
+                # /metrics renderer or another settle coroutine.
+                self.metrics.observe_request(
+                    "ingest", time.perf_counter() - started
+                )
 
         connection.queue.put_nowait(asyncio.ensure_future(settle()))
 
@@ -445,33 +490,52 @@ class SummaryServer:
 
     # -- query path ----------------------------------------------------------
 
-    def _call(self, connection: _Connection, document: dict) -> None:
+    def _call(
+        self, connection: _Connection, document: dict, started: float
+    ) -> None:
         method = document.get("method")
         if method not in ALLOWED_CALLS:
-            self.metrics.errors += 1
+            self.metrics.errors.inc()
             connection.queue.put_nowait(
                 protocol.pack_json(
                     {"op": "error", "error": f"method {method!r} is not servable"}
                 )
             )
             return
-        self.metrics.queries += 1
+        self.metrics.queries.inc()
         args = [protocol.decode_value(value) for value in document.get("args", [])]
         bound = getattr(self.summary, method)
-        self._enqueue_result(connection, bound, *args)
+        self._enqueue_result(connection, bound, *args, op=method, started=started)
 
-    def _enqueue_result(self, connection: _Connection, fn, *args) -> None:
-        """Run ``fn`` on the executor; reply ``ok``/``error`` in FIFO order."""
+    def _enqueue_result(
+        self,
+        connection: _Connection,
+        fn,
+        *args,
+        op: Optional[str] = None,
+        started: Optional[float] = None,
+    ) -> None:
+        """Run ``fn`` on the executor; reply ``ok``/``error`` in FIFO order.
+
+        With ``op``/``started`` the reply is also timed into the per-op
+        latency histogram (frame decode → reply ready, queue wait included —
+        that is the latency a client actually experiences server-side).
+        """
         future = self._run(fn, *args)
 
         async def settle() -> bytes:
             try:
                 value = await future
             except Exception as error:  # noqa: BLE001 - reported to the client
-                self.metrics.errors += 1
+                self.metrics.errors.inc()
                 return protocol.pack_json(
                     {"op": "error", "error": f"{type(error).__name__}: {error}"}
                 )
+            finally:
+                if op is not None:
+                    self.metrics.observe_request(
+                        op, time.perf_counter() - started
+                    )
             return protocol.pack_json(
                 {"op": "ok", "value": protocol.encode_value(value)}
             )
@@ -486,15 +550,34 @@ class SummaryServer:
         writer: asyncio.StreamWriter,
         prefix: bytes,
     ) -> None:
-        """Answer one plain HTTP request (``/metrics``, ``/healthz``)."""
+        """Answer one plain HTTP request (``/metrics``, ``/healthz``).
+
+        ``/metrics`` content-negotiates: the JSON document by default, the
+        Prometheus text exposition (format 0.0.4) when the request carries
+        ``Accept: text/plain`` — so ``curl`` keeps its JSON and a Prometheus
+        scraper gets what it expects from the same endpoint.
+        """
         try:
             line = prefix + await asyncio.wait_for(reader.readline(), timeout=5.0)
+            accept = ""
+            while True:  # drain headers so Accept can be honoured
+                header = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if header in (b"", b"\r\n", b"\n"):
+                    break
+                name, _, value = header.decode("latin-1", "replace").partition(":")
+                if name.strip().lower() == "accept":
+                    accept = value.strip().lower()
         except asyncio.TimeoutError:
             return
         parts = line.decode("latin-1", "replace").split()
         path = parts[1] if len(parts) >= 2 else "/"
         if path.startswith("/metrics"):
-            response = http_response(self._metrics_document())
+            if "text/plain" in accept:
+                response = http_text_response(
+                    render_prometheus(self._obs_document())
+                )
+            else:
+                response = http_response(self._metrics_document())
         elif path.startswith("/healthz"):
             response = http_response({"status": "ok"})
         else:

@@ -41,8 +41,15 @@ from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.hashing.hash_functions import hash_key
 from repro.hashing.vectorized import NUMPY_AVAILABLE, load_numpy
+from repro.obs.trace import active as _obs_active, span as _obs_span
 
 __all__ = ["HashSpec", "HashedBatch", "MEMO_LIMIT"]
+
+#: Obs counters proving the hash-once invariant live: every distinct key in
+#: a batch either hits the cross-batch memo or is hashed exactly once.
+_MEMO_HITS = "repro_hash_memo_hits_total"
+_MEMO_MISSES = "repro_hash_memo_misses_total"
+_MEMO_HELP = "Distinct batch keys resolved from (hits) or added to (misses) the cross-batch hash memo."
 
 #: Hard cap on entries held in a caller-owned hash memo.  Beyond it, new keys
 #: are still hashed exactly once per batch (a per-batch overlay dict) but are
@@ -99,6 +106,13 @@ def _hash_lookup(
     if memo is None:
         memo = {}
     missing = [key for key in distinct if key not in memo]
+    registry = _obs_active()
+    if registry is not None:
+        hits = len(distinct) - len(missing)
+        if hits:
+            registry.counter(_MEMO_HITS, _MEMO_HELP).inc(hits)
+        if missing:
+            registry.counter(_MEMO_MISSES, _MEMO_HELP).inc(len(missing))
     if not missing:
         return memo
     if NUMPY_AVAILABLE and len(missing) >= _VECTOR_MIN:
@@ -235,14 +249,15 @@ class HashedBatch:
 
         count = len(sources)
         routes = spec.routing_seed is not None
-        lookup = _hash_lookup(
-            chain(sources, destinations), spec.seed, spec.hash_range, node_memo
-        )
-        route_lookup = (
-            _hash_lookup(sources, spec.routing_seed, None, route_memo)
-            if routes
-            else None
-        )
+        with _obs_span("ingest.hash_batch"):
+            lookup = _hash_lookup(
+                chain(sources, destinations), spec.seed, spec.hash_range, node_memo
+            )
+            route_lookup = (
+                _hash_lookup(sources, spec.routing_seed, None, route_memo)
+                if routes
+                else None
+            )
         if NUMPY_AVAILABLE and count >= _VECTOR_MIN:
             np = load_numpy()
             source_hashes = np.fromiter(

@@ -271,6 +271,61 @@ class TestDeterminism:
         )
         assert rules_of(report) == ["determinism"]
 
+    def test_obs_span_start_stash_is_sanctioned(self, tmp_path):
+        # The one sanctioned attribute store: a span stashing its start
+        # time on `self._started` inside an obs/ file — no allow() marker.
+        report = lint_tree(
+            tmp_path,
+            {
+                "obs/trace.py": """
+                from time import perf_counter
+
+                class Span:
+                    def __enter__(self):
+                        self._started = perf_counter()
+                        return self
+
+                    def __exit__(self, *exc_info):
+                        self._histogram.observe(perf_counter() - self._started)
+                """
+            },
+        )
+        assert report.ok
+
+    def test_obs_clock_to_unsanctioned_attribute_fires(self, tmp_path):
+        # Any *other* attribute store of a clock read in obs/ still escapes.
+        report = lint_tree(
+            tmp_path,
+            {
+                "obs/trace.py": """
+                from time import perf_counter
+
+                class Span:
+                    def __enter__(self):
+                        self.offset = perf_counter()
+                        return self
+                """
+            },
+        )
+        assert rules_of(report) == ["determinism"]
+
+    def test_started_attribute_outside_obs_still_fires(self, tmp_path):
+        # The sanction is scoped to obs/ files: the same pattern in core/
+        # remains a violation.
+        report = lint_tree(
+            tmp_path,
+            {
+                "core/p.py": """
+                from time import perf_counter
+
+                class Placer:
+                    def place(self):
+                        self._started = perf_counter()
+                """
+            },
+        )
+        assert rules_of(report) == ["determinism"]
+
 
 class TestAsyncioSafety:
     def test_blocking_sleep_fires(self, tmp_path):
